@@ -1,0 +1,8 @@
+"""§5.9: effective inter-node bandwidth at 3072 GPUs."""
+
+from repro.experiments import bisection
+
+
+def test_bisection_bandwidth(benchmark, show):
+    result = benchmark(bisection.run)
+    show(result)

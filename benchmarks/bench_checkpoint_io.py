@@ -1,0 +1,8 @@
+"""§5.10: checkpoint load/save."""
+
+from repro.experiments import checkpoint_io
+
+
+def test_checkpoint_io(benchmark, show):
+    result = benchmark(checkpoint_io.run)
+    show(result)

@@ -1,0 +1,8 @@
+"""Figure 1: model-size trend."""
+
+from repro.experiments import fig01_trend
+
+
+def test_fig01_trend(benchmark, show):
+    result = benchmark(fig01_trend.run)
+    show(result)

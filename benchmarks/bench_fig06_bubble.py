@@ -1,0 +1,8 @@
+"""Figure 6: bubble fraction vs data-parallel size."""
+
+from repro.experiments import fig06_bubble
+
+
+def test_fig06_bubble(benchmark, show):
+    result = benchmark(fig06_bubble.run)
+    show(result)

@@ -1,0 +1,8 @@
+"""Figure 7: single-GPU throughput vs microbatch size."""
+
+from repro.experiments import fig07_microbatch_1gpu
+
+
+def test_fig07_microbatch(benchmark, show):
+    result = benchmark(fig07_microbatch_1gpu.run)
+    show(result)

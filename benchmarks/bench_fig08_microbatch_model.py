@@ -1,0 +1,8 @@
+"""Figure 8: eq. (1) throughput vs microbatch size."""
+
+from repro.experiments import fig08_microbatch_model
+
+
+def test_fig08_microbatch_model(benchmark, show):
+    result = benchmark(fig08_microbatch_model.run)
+    show(result)

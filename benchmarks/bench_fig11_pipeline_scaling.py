@@ -1,0 +1,8 @@
+"""Figure 11: pipeline-parallel weak scaling."""
+
+from repro.experiments import fig11_pipeline_scaling
+
+
+def test_fig11_pipeline_scaling(benchmark, show):
+    result = benchmark(fig11_pipeline_scaling.run)
+    show(result)

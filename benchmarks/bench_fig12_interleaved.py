@@ -1,0 +1,8 @@
+"""Figure 12: interleaved vs non-interleaved schedule."""
+
+from repro.experiments import fig12_interleaved
+
+
+def test_fig12_interleaved(benchmark, show):
+    result = benchmark(fig12_interleaved.run)
+    show(result)

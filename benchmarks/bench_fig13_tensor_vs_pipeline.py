@@ -1,0 +1,8 @@
+"""Figure 13: tensor vs pipeline parallelism tradeoff."""
+
+from repro.experiments import fig13_tensor_vs_pipeline
+
+
+def test_fig13_tensor_vs_pipeline(benchmark, show):
+    result = benchmark(fig13_tensor_vs_pipeline.run)
+    show(result)

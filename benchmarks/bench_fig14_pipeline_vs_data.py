@@ -1,0 +1,8 @@
+"""Figure 14: pipeline vs data parallelism tradeoff."""
+
+from repro.experiments import fig14_pipeline_vs_data
+
+
+def test_fig14_pipeline_vs_data(benchmark, show):
+    result = benchmark(fig14_pipeline_vs_data.run)
+    show(result)

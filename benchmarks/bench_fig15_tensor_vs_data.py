@@ -1,0 +1,8 @@
+"""Figure 15: tensor vs data parallelism tradeoff."""
+
+from repro.experiments import fig15_tensor_vs_data
+
+
+def test_fig15_tensor_vs_data(benchmark, show):
+    result = benchmark(fig15_tensor_vs_data.run)
+    show(result)

@@ -1,0 +1,8 @@
+"""Figure 16: microbatch size at scale (91B model)."""
+
+from repro.experiments import fig16_microbatch
+
+
+def test_fig16_microbatch(benchmark, show):
+    result = benchmark(fig16_microbatch.run)
+    show(result)

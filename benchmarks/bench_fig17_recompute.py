@@ -1,0 +1,8 @@
+"""Figure 17: activation recomputation tradeoff."""
+
+from repro.experiments import fig17_recompute
+
+
+def test_fig17_recompute(benchmark, show):
+    result = benchmark(fig17_recompute.run)
+    show(result)

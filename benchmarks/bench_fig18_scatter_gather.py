@@ -1,0 +1,8 @@
+"""Figure 18: scatter/gather communication optimization."""
+
+from repro.experiments import fig18_scatter_gather
+
+
+def test_fig18_scatter_gather(benchmark, show):
+    result = benchmark(fig18_scatter_gather.run)
+    show(result)

@@ -1,0 +1,8 @@
+"""§5.8: operator fusion."""
+
+from repro.experiments import fused_ops
+
+
+def test_fused_ops(benchmark, show):
+    result = benchmark(fused_ops.run)
+    show(result)

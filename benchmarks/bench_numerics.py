@@ -1,0 +1,38 @@
+"""Throughput of the numerical substrate itself (not a paper figure):
+how fast the numpy PTD-P engine trains a small GPT, per parallelization.
+Useful for tracking regressions in the exact-numerics path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ParallelConfig, tiny_test_model
+from repro.parallel import PTDTrainer
+
+CFG = tiny_test_model(num_layers=4, hidden_size=32, num_attention_heads=4,
+                      vocab_size=64, seq_length=16)
+
+
+def make_batch(B):
+    r = np.random.default_rng(0)
+    ids = r.integers(0, CFG.vocab_size, size=(B, CFG.seq_length))
+    return ids, np.roll(ids, -1, axis=1)
+
+
+@pytest.mark.parametrize(
+    "p,t,d,v",
+    [(1, 1, 1, 1), (2, 1, 1, 1), (1, 2, 1, 1), (2, 2, 2, 1), (2, 1, 1, 2)],
+    ids=["serial", "pipeline", "tensor", "ptd-2x2x2", "interleaved"],
+)
+def test_ptd_train_step(benchmark, p, t, d, v):
+    B = 8
+    parallel = ParallelConfig(
+        pipeline_parallel_size=p, tensor_parallel_size=t,
+        data_parallel_size=d, microbatch_size=1, global_batch_size=B,
+        num_model_chunks=v,
+    )
+    trainer = PTDTrainer(
+        CFG, parallel, schedule="interleaved" if v > 1 else "1f1b", seed=0
+    )
+    ids, targets = make_batch(B)
+    benchmark(trainer.train_step, ids, targets)

@@ -1,0 +1,23 @@
+"""Figures 3/4: schedule generation + timeline simulation."""
+
+from repro.experiments import fig03_fig04_schedules
+from repro.schedule import interleaved_schedule, simulate_times, validate
+
+
+def test_fig03_fig04_schedules(benchmark, show):
+    result = benchmark(fig03_fig04_schedules.run)
+    show(result)
+
+
+def test_interleaved_schedule_generation_and_validation(benchmark):
+    def gen():
+        s = interleaved_schedule(8, 64, 4)
+        validate(s)
+        return s
+
+    benchmark(gen)
+
+
+def test_timeline_simulation_large(benchmark):
+    sched = interleaved_schedule(8, 64, 4)
+    benchmark(simulate_times, sched)

@@ -1,0 +1,48 @@
+"""Throughput of the substrates themselves (not paper figures):
+tokenizer encode, synthetic-corpus generation, collective primitives,
+and the numeric transformer's forward/backward."""
+
+import numpy as np
+
+from repro.comm import ring_all_reduce
+from repro.config import tiny_test_model
+from repro.data import BPETokenizer, synthetic_corpus
+from repro.nn import GPTModel
+
+SAMPLE = ("pipeline parallelism composes with tensor parallelism. " * 50)
+
+
+def test_bpe_train(benchmark):
+    benchmark(BPETokenizer.train, SAMPLE, 320)
+
+
+def test_bpe_encode(benchmark):
+    tok = BPETokenizer.train(SAMPLE, 320)
+    benchmark(tok.encode, SAMPLE)
+
+
+def test_synthetic_corpus(benchmark):
+    benchmark(synthetic_corpus, 1_000_000, 51200, seed=0)
+
+
+def test_ring_all_reduce_8ranks(benchmark):
+    bufs = [np.random.default_rng(i).standard_normal(1 << 16) for i in range(8)]
+    benchmark(ring_all_reduce, bufs, list(range(8)))
+
+
+def test_transformer_fwd_bwd(benchmark):
+    cfg = tiny_test_model(num_layers=4, hidden_size=64,
+                          num_attention_heads=4, vocab_size=256,
+                          seq_length=64)
+    model = GPTModel(cfg, seed=0)
+    r = np.random.default_rng(0)
+    ids = r.integers(0, cfg.vocab_size, size=(4, cfg.seq_length))
+    targets = np.roll(ids, -1, axis=1)
+
+    def step():
+        model.zero_grad()
+        loss, caches = model.loss(ids, targets)
+        model.loss_backward(caches)
+        return loss
+
+    benchmark(step)

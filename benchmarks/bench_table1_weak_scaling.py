@@ -1,0 +1,8 @@
+"""Table 1: weak-scaling simulation of all ten configurations."""
+
+from repro.experiments import table1_weak_scaling
+
+
+def test_table1_weak_scaling(benchmark, show):
+    result = benchmark(table1_weak_scaling.run)
+    show(result)

@@ -1,0 +1,8 @@
+"""Table 2 / Figure 10: PTD-P vs ZeRO-3."""
+
+from repro.experiments import table2_zero3
+
+
+def test_table2_zero3(benchmark, show):
+    result = benchmark(table2_zero3.run)
+    show(result)

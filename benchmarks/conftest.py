@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures
+(`pytest benchmarks/ --benchmark-only`): the benchmarked callable is the
+experiment's `run()`, and each bench prints the reproduced rows once so
+the harness output contains the actual numbers next to the timings.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an ExperimentResult outside of captured benchmark timing."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+
+    return _show

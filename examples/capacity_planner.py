@@ -1,0 +1,90 @@
+"""Capacity planner: "how should I train this model on my cluster?"
+
+The workload the paper's introduction motivates: given a model size, a
+GPU budget and a batch size, apply the paper's Takeaways to pick
+(t, p, d, b), check the memory footprint, simulate a training iteration
+on a Selene-like cluster, and estimate the end-to-end training time with
+eq. (4).
+
+Run:  python examples/capacity_planner.py [params_in_billions] [gpus] [batch]
+e.g.  python examples/capacity_planner.py 175 1024 1536
+"""
+
+import sys
+
+from repro.config import GPTConfig, gpt3_175b
+from repro.hardware import a100_80gb, dgx_a100
+from repro.perf import (
+    fits_in_memory,
+    memory_footprint,
+    suggest_parallel_config,
+    training_time_days,
+)
+from repro.sim import SimOptions, simulate_iteration
+
+
+def model_for_params(billions: float) -> GPTConfig:
+    """Find a Table-1-style architecture near the requested size."""
+    if abs(billions - 175) < 5:
+        return gpt3_175b()
+    # Scale hidden size with layers (the Table-1 family's trend), keeping
+    # heads and layers multiples of 8 so the model partitions cleanly.
+    best = None
+    for h in range(1024, 32769, 512):
+        layers = max(8, min(128, round(h / 128 / 8) * 8))
+        heads = max(8, round(h / 128 / 8) * 8)
+        if h % heads:
+            continue
+        cfg = GPTConfig(num_layers=layers, hidden_size=h,
+                        num_attention_heads=heads,
+                        name=f"GPT-{billions:g}B-candidate")
+        err = abs(cfg.num_parameters() - billions * 1e9)
+        if best is None or err < best[0]:
+            best = (err, cfg)
+    return best[1]
+
+
+def main(argv: list[str]) -> None:
+    billions = float(argv[0]) if len(argv) > 0 else 39.0
+    gpus = int(argv[1]) if len(argv) > 1 else 512
+    batch = int(argv[2]) if len(argv) > 2 else 1536
+    tokens = float(argv[3]) * 1e9 if len(argv) > 3 else 300e9
+
+    model = model_for_params(billions)
+    P = model.num_parameters()
+    print(f"model: {model}  ({P/1e9:.1f}B parameters)")
+    print(f"budget: {gpus} GPUs (DGX A100), global batch {batch}\n")
+
+    parallel = suggest_parallel_config(model, gpus, batch)
+    print("Takeaway-based configuration:")
+    print(f"  tensor-parallel   t = {parallel.t}   (<= node size, Takeaway #1)")
+    print(f"  pipeline-parallel p = {parallel.p}")
+    print(f"  data-parallel     d = {parallel.d}   (Takeaway #2)")
+    print(f"  microbatch        b = {parallel.b}   (eq. (1) sweep, Takeaway #3)")
+    print(f"  microbatches/pipeline m = {parallel.num_microbatches}")
+
+    fp = memory_footprint(model, parallel, recompute=True)
+    device = a100_80gb()
+    print(f"\nper-GPU memory (with activation recomputation):")
+    print(f"  model+optimizer state : {fp.model_state/1e9:6.1f} GB")
+    print(f"  activation working set: {fp.activations/1e9:6.1f} GB")
+    print(f"  stashed stage inputs  : {fp.stage_inputs/1e9:6.1f} GB")
+    print(f"  total                 : {fp.total/1e9:6.1f} GB "
+          f"(device: {device.memory_capacity/1e9:.0f} GB, "
+          f"fits={fits_in_memory(model, parallel, device, recompute=True)})")
+
+    res = simulate_iteration(model, parallel, options=SimOptions(), node=dgx_a100())
+    print(f"\nsimulated training iteration:")
+    print(f"  iteration time : {res.iteration_time:8.2f} s")
+    print(f"  per-GPU        : {res.tflops_per_gpu:8.1f} Tflop/s "
+          f"({res.peak_fraction*100:.0f}% of peak)")
+    print(f"  aggregate      : {res.aggregate_pflops:8.1f} Pflop/s")
+    print(f"  pipeline bubble: {res.bubble_fraction*100:8.1f} %")
+
+    days = training_time_days(P, tokens, gpus, res.tflops_per_gpu * 1e12)
+    print(f"\nestimated end-to-end training on {tokens/1e9:.0f}B tokens: "
+          f"{days:.0f} days (eq. 4)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,74 @@
+"""Quickstart: train a small GPT with composed 3D (PTD-P) parallelism.
+
+Builds a GPT, picks a (p, t, d) parallelization, and runs real training
+iterations through the pipeline/tensor/data-parallel engine -- then
+verifies the headline property of the paper: the parallel run is
+*bit-identical* to serial training (strict optimizer semantics).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GPTConfig, ParallelConfig, PTDTrainer
+from repro.nn import Adam, GPTModel
+
+
+def main() -> None:
+    # A toy GPT (the engine is exact at any size; keep it fast to run).
+    model = GPTConfig(
+        num_layers=4,
+        hidden_size=32,
+        num_attention_heads=4,
+        vocab_size=128,
+        seq_length=16,
+        name="GPT-toy",
+    )
+    print(f"model: {model} ({model.num_parameters_exact():,} parameters)")
+
+    # p=2 pipeline stages x t=2 tensor shards x d=2 data replicas = 8 GPUs.
+    parallel = ParallelConfig(
+        pipeline_parallel_size=2,
+        tensor_parallel_size=2,
+        data_parallel_size=2,
+        microbatch_size=1,
+        global_batch_size=8,
+    )
+    print(f"parallelism: {parallel.describe()}")
+
+    trainer = PTDTrainer(model, parallel, seed=0, lr=1e-2)
+
+    # Synthetic next-token data.
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, model.vocab_size, size=(8, model.seq_length))
+    targets = np.roll(ids, -1, axis=1)
+
+    # Serial reference model with the same seed and optimizer.
+    serial = GPTModel(model, seed=0)
+    opt = Adam(serial.parameters(), lr=1e-2)
+
+    print(f"\n{'step':>4}  {'parallel loss':>14}  {'serial loss':>12}  match")
+    for step in range(5):
+        loss = trainer.train_step(ids, targets)
+        serial.zero_grad()
+        ref_loss, caches = serial.loss(ids, targets)
+        serial.loss_backward(caches)
+        opt.step()
+        ok = abs(loss - ref_loss) < 1e-9
+        print(f"{step:>4}  {loss:>14.6f}  {ref_loss:>12.6f}  {ok}")
+
+    # Weights agree too -- strict optimizer semantics, exactly.
+    state = trainer.gather_state_dict()
+    ref_state = serial.state_dict()
+    max_diff = max(
+        float(np.max(np.abs(state[k] - ref_state[k])))
+        for k in state
+        if k in ref_state
+    )
+    print(f"\nmax |parallel - serial| over all weights: {max_diff:.2e}")
+    assert max_diff < 1e-8
+    print("PTD-P training is exactly equivalent to serial training. ✓")
+
+
+if __name__ == "__main__":
+    main()

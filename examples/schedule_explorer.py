@@ -1,0 +1,59 @@
+"""Schedule explorer: visualize and compare pipeline schedules.
+
+Renders the Figure 3/4 timelines for GPipe, 1F1B, and the interleaved
+schedule at a chosen (p, m, v), and tabulates the measured bubble
+fraction, the analytical formula (p-1)/(m v), and the activation-memory
+footprint of each schedule.
+
+Run:  python examples/schedule_explorer.py [p] [m] [v]
+e.g.  python examples/schedule_explorer.py 4 8 2
+"""
+
+import sys
+
+from repro.schedule import (
+    bubble_overhead,
+    gpipe_schedule,
+    interleaved_schedule,
+    one_f_one_b_schedule,
+    render_schedule,
+    simulate_times,
+)
+
+
+def main(argv: list[str]) -> None:
+    p = int(argv[0]) if len(argv) > 0 else 4
+    m = int(argv[1]) if len(argv) > 1 else 8
+    v = int(argv[2]) if len(argv) > 2 else 2
+
+    schedules = [
+        ("GPipe (all-F then all-B)", gpipe_schedule(p, m), 1),
+        ("PipeDream-Flush (1F1B)", one_f_one_b_schedule(p, m), 1),
+    ]
+    if p >= 2 and m % p == 0 and v > 1:
+        schedules.append(
+            (f"Interleaved 1F1B (v={v})", interleaved_schedule(p, m, v), v)
+        )
+    else:
+        print(f"(interleaved schedule skipped: needs p >= 2 and m % p == 0)\n")
+
+    print(f"{'schedule':<28} {'makespan':>8} {'bubble':>8} {'formula':>8} "
+          f"{'stash(max microbatches)':>24}")
+    for name, sched, chunks in schedules:
+        tl = simulate_times(sched)
+        stash = max(
+            sched.max_in_flight_microbatches(r) for r in range(p)
+        ) / chunks  # chunk activations -> full-microbatch units
+        print(f"{name:<28} {tl.makespan:>8.1f} {tl.bubble_fraction():>8.3f} "
+              f"{bubble_overhead(p, m, chunks):>8.3f} {stash:>24.1f}")
+
+    print("\nTimelines (forward = digits, backward = subscripts, ' marks the"
+          " second model chunk, . = idle):\n")
+    for name, sched, _ in schedules:
+        print(f"--- {name} ---")
+        print(render_schedule(sched))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

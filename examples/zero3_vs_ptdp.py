@@ -1,0 +1,55 @@
+"""ZeRO-3 vs PTD-P: which strategy for which scale? (§5.2 / Figure 10)
+
+Sweeps the GPU count for a large GPT at fixed global batch size and
+compares the simulated per-GPU throughput of
+
+- PTD-P (tensor parallelism inside nodes, pipeline across, data
+  parallelism on top), and
+- ZeRO-3 fully-sharded data parallelism without model parallelism,
+
+reproducing the paper's finding: at the minimum GPU count they are
+close, but PTD-P scales gracefully while ZeRO-3's cross-node parameter
+gathers dominate once compute per rank shrinks.
+
+Run:  python examples/zero3_vs_ptdp.py
+"""
+
+from repro.config import ParallelConfig, gpt3_175b
+from repro.sim import SimOptions, simulate_iteration, simulate_zero3_iteration
+
+
+def main() -> None:
+    model = gpt3_175b()
+    batch = 1536
+    t, p = 8, 12  # PTD-P model-parallel shape for 175B (Table 2)
+
+    print(f"model: {model}, global batch {batch}")
+    print(f"\n{'GPUs':>6} {'PTD-P Tflop/s':>14} {'ZeRO-3 Tflop/s':>15} "
+          f"{'PTD-P advantage':>16}")
+    for gpus, zero_b in ((384, 4), (768, 2), (1536, 1)):
+        d = gpus // (t * p)
+        ptd = simulate_iteration(
+            model,
+            ParallelConfig(
+                pipeline_parallel_size=p, tensor_parallel_size=t,
+                data_parallel_size=d, microbatch_size=1,
+                global_batch_size=batch,
+            ),
+            options=SimOptions(schedule_name="1f1b"),
+        )
+        zero = simulate_zero3_iteration(model, gpus, batch, zero_b)
+        adv = ptd.tflops_per_gpu / zero.tflops_per_gpu - 1
+        print(f"{gpus:>6} {ptd.tflops_per_gpu:>14.1f} "
+              f"{zero.tflops_per_gpu:>15.1f} {adv*100:>15.0f}%")
+
+    print(
+        "\nPTD-P holds ~constant per-GPU throughput as GPUs double "
+        "(near-linear aggregate scaling); ZeRO-3 halves, because its "
+        "parameter all-gathers cross nodes on every iteration and stop "
+        "being hidden once per-rank compute shrinks (paper §5.2: ~70% "
+        "advantage at doubled GPUs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim: environments without the `wheel` package need
+`setup.py develop`-based editable installs (`pip install -e .`)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

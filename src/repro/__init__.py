@@ -1,0 +1,57 @@
+"""repro -- reproduction of "Efficient Large-Scale Language Model Training
+on GPU Clusters Using Megatron-LM" (Narayanan et al., SC '21).
+
+The package has two halves:
+
+1. **Exact numerics** (`repro.nn`, `repro.parallel`, `repro.comm`): a
+   numpy transformer with hand-written backward passes, plus tensor /
+   pipeline / data parallelism and a ZeRO-3 baseline implemented over
+   virtual ranks with real ring collectives.  Training under any
+   (p, t, d, v) is bit-identical to serial training -- the paper's
+   "strict optimizer semantics".
+
+2. **Performance simulation** (`repro.hardware`, `repro.sim`,
+   `repro.perf`, `repro.io_sim`): a roofline kernel model of A100 GPUs,
+   a fat-tree Selene-like cluster, and a discrete-event simulator that
+   regenerates every table and figure of the paper's evaluation
+   (`repro.experiments`, `python -m repro.experiments`).
+
+Quickstart::
+
+    from repro import GPTConfig, ParallelConfig, PTDTrainer
+
+    model = GPTConfig(num_layers=4, hidden_size=64,
+                      num_attention_heads=4, vocab_size=512, seq_length=32)
+    parallel = ParallelConfig(pipeline_parallel_size=2,
+                              tensor_parallel_size=2,
+                              data_parallel_size=2,
+                              microbatch_size=1, global_batch_size=8)
+    trainer = PTDTrainer(model, parallel)
+    loss = trainer.train_step(ids, targets)
+"""
+
+from .config import GPTConfig, ParallelConfig
+from .parallel import PTDTrainer
+from .schedule import (
+    gpipe_schedule,
+    interleaved_schedule,
+    make_schedule,
+    one_f_one_b_schedule,
+)
+from .sim import SimOptions, simulate_iteration, simulate_zero3_iteration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPTConfig",
+    "ParallelConfig",
+    "PTDTrainer",
+    "make_schedule",
+    "gpipe_schedule",
+    "one_f_one_b_schedule",
+    "interleaved_schedule",
+    "SimOptions",
+    "simulate_iteration",
+    "simulate_zero3_iteration",
+    "__version__",
+]

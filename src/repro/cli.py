@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``simulate``  — time one training iteration of a model under a given
+  (p, t, d, b, B, v, schedule) on the modelled cluster;
+- ``suggest``   — apply the paper's Takeaway heuristics to pick a
+  configuration for a model / GPU budget / batch size;
+- ``autotune``  — exhaustively search all feasible configurations with
+  the simulator and print the top results;
+- ``schedule``  — render a pipeline-schedule timeline (Figures 3/4);
+- ``experiments`` — alias for ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import GPTConfig, ParallelConfig
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--layers", type=int, required=True, help="transformer layers (l)")
+    p.add_argument("--hidden", type=int, required=True, help="hidden size (h)")
+    p.add_argument("--heads", type=int, required=True, help="attention heads (a)")
+    p.add_argument("--vocab", type=int, default=51200, help="vocabulary size (V)")
+    p.add_argument("--seq", type=int, default=2048, help="sequence length (s)")
+
+
+def _model_from(args) -> GPTConfig:
+    return GPTConfig(
+        num_layers=args.layers,
+        hidden_size=args.hidden,
+        num_attention_heads=args.heads,
+        vocab_size=args.vocab,
+        seq_length=args.seq,
+    )
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import SimOptions, simulate_iteration
+
+    model = _model_from(args)
+    parallel = ParallelConfig(
+        pipeline_parallel_size=args.p,
+        tensor_parallel_size=args.t,
+        data_parallel_size=args.d,
+        microbatch_size=args.b,
+        global_batch_size=args.batch,
+        num_model_chunks=args.chunks,
+    )
+    options = SimOptions(
+        schedule_name=args.schedule,
+        recompute_activations=not args.no_recompute,
+        scatter_gather=not args.no_scatter_gather,
+        fused_kernels=not args.no_fusion,
+    )
+    res = simulate_iteration(model, parallel, options=options)
+    print(f"model: {model}")
+    print(f"parallel: {parallel.describe()}  schedule={args.schedule}")
+    print(f"iteration time    : {res.iteration_time:.3f} s")
+    print(f"per-GPU throughput: {res.tflops_per_gpu:.1f} Tflop/s "
+          f"({res.peak_fraction*100:.0f}% of peak)")
+    print(f"aggregate         : {res.aggregate_pflops:.1f} Pflop/s")
+    print(f"pipeline bubble   : {res.bubble_fraction*100:.1f} %")
+    print(f"sequences/second  : {res.sequences_per_second:.2f}")
+    return 0
+
+
+def _cmd_suggest(args) -> int:
+    from repro.hardware import a100_80gb
+    from repro.perf import fits_in_memory, memory_footprint, suggest_parallel_config
+
+    model = _model_from(args)
+    parallel = suggest_parallel_config(model, args.gpus, args.batch)
+    print(f"model: {model}")
+    print(f"suggested: {parallel.describe()}")
+    fp = memory_footprint(model, parallel, recompute=True)
+    print(f"per-GPU memory: {fp.total/1e9:.1f} GB "
+          f"(fits={fits_in_memory(model, parallel, a100_80gb(), recompute=True)})")
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from repro.perf import autotune
+
+    model = _model_from(args)
+    best = autotune(model, args.gpus, args.batch, top_k=args.top)
+    print(f"model: {model};  {args.gpus} GPUs, batch {args.batch}")
+    for i, s in enumerate(best, 1):
+        print(f"{i}. {s.describe()}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.schedule import make_schedule, render_schedule
+
+    chunks = args.chunks if args.name.startswith("interleaved") else 1
+    sched = make_schedule(args.name, args.p, args.m, chunks)
+    print(render_schedule(sched))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Megatron-LM PTD-P (SC '21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate one training iteration")
+    _add_model_args(p_sim)
+    p_sim.add_argument("-p", type=int, default=1, help="pipeline-parallel size")
+    p_sim.add_argument("-t", type=int, default=1, help="tensor-parallel size")
+    p_sim.add_argument("-d", type=int, default=1, help="data-parallel size")
+    p_sim.add_argument("-b", type=int, default=1, help="microbatch size")
+    p_sim.add_argument("--batch", type=int, required=True, help="global batch size")
+    p_sim.add_argument("--chunks", type=int, default=1, help="model chunks (v)")
+    p_sim.add_argument(
+        "--schedule", default="1f1b",
+        choices=["gpipe", "1f1b", "interleaved", "interleaved-gpipe"],
+    )
+    p_sim.add_argument("--no-recompute", action="store_true")
+    p_sim.add_argument("--no-scatter-gather", action="store_true")
+    p_sim.add_argument("--no-fusion", action="store_true")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_sug = sub.add_parser("suggest", help="Takeaway-heuristic configuration")
+    _add_model_args(p_sug)
+    p_sug.add_argument("--gpus", type=int, required=True)
+    p_sug.add_argument("--batch", type=int, required=True)
+    p_sug.set_defaults(func=_cmd_suggest)
+
+    p_auto = sub.add_parser("autotune", help="exhaustive configuration search")
+    _add_model_args(p_auto)
+    p_auto.add_argument("--gpus", type=int, required=True)
+    p_auto.add_argument("--batch", type=int, required=True)
+    p_auto.add_argument("--top", type=int, default=5)
+    p_auto.set_defaults(func=_cmd_autotune)
+
+    p_sched = sub.add_parser("schedule", help="render a schedule timeline")
+    p_sched.add_argument(
+        "name", choices=["gpipe", "1f1b", "interleaved", "interleaved-gpipe"]
+    )
+    p_sched.add_argument("-p", type=int, default=4)
+    p_sched.add_argument("-m", type=int, default=8)
+    p_sched.add_argument("--chunks", type=int, default=2)
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Communication substrate: collectives, process groups, traffic, cost."""
+
+from .cost_model import CommCostModel
+from .extras import all_to_all, barrier, gather, scatter
+from .groups import ProcessGroups, RankCoord
+from .primitives import (
+    all_gather,
+    broadcast,
+    reduce_scatter,
+    ring_all_reduce,
+    send,
+)
+from .traffic import TrafficKind, TrafficLog, TransferRecord
+
+__all__ = [
+    "CommCostModel",
+    "gather",
+    "scatter",
+    "all_to_all",
+    "barrier",
+    "ProcessGroups",
+    "RankCoord",
+    "ring_all_reduce",
+    "all_gather",
+    "reduce_scatter",
+    "broadcast",
+    "send",
+    "TrafficKind",
+    "TrafficLog",
+    "TransferRecord",
+]

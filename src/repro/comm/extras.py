@@ -1,0 +1,121 @@
+"""Additional collectives completing the NCCL-substitute surface.
+
+The core PTD-P path needs only all-reduce / all-gather / reduce-scatter
+/ p2p, but a complete communication substrate (and the ZeRO/MoE-style
+extensions built on it) also uses gather-to-root, scatter-from-root,
+all-to-all, and barriers.  Same contract as
+:mod:`repro.comm.primitives`: real numpy data movement per group call,
+every transfer logged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .traffic import TrafficKind, TrafficLog
+
+
+def gather(
+    shards: Sequence[np.ndarray],
+    root: int,
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.OTHER,
+    tag: str = "",
+    axis: int = 0,
+) -> np.ndarray:
+    """Gather shards to ``root``; returns the concatenated array."""
+    _check(shards, ranks)
+    if root not in ranks:
+        raise ValueError(f"root {root} not in group {ranks}")
+    if log is not None:
+        for r, s in zip(ranks, shards):
+            if r != root:
+                log.add(r, root, s.nbytes, kind, tag)
+    return np.concatenate([np.asarray(s) for s in shards], axis=axis)
+
+
+def scatter(
+    full: np.ndarray,
+    root: int,
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.OTHER,
+    tag: str = "",
+    axis: int = 0,
+) -> list[np.ndarray]:
+    """Split ``full`` into len(ranks) equal slabs; slab i goes to rank i."""
+    if len(ranks) == 0 or len(set(ranks)) != len(ranks):
+        raise ValueError("invalid process group")
+    if root not in ranks:
+        raise ValueError(f"root {root} not in group {ranks}")
+    if full.shape[axis] % len(ranks) != 0:
+        raise ValueError(
+            f"axis {axis} ({full.shape[axis]}) not divisible by group size "
+            f"{len(ranks)}"
+        )
+    slabs = np.split(np.asarray(full), len(ranks), axis=axis)
+    if log is not None:
+        for r, s in zip(ranks, slabs):
+            if r != root:
+                log.add(root, r, s.nbytes, kind, tag)
+    return [s.copy() for s in slabs]
+
+
+def all_to_all(
+    chunks: Sequence[Sequence[np.ndarray]],
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.OTHER,
+    tag: str = "",
+) -> list[list[np.ndarray]]:
+    """Personalized exchange: ``chunks[i][j]`` travels from rank i to j.
+
+    Returns ``out`` with ``out[j][i] == chunks[i][j]`` (each rank ends
+    with one chunk from every peer, in group-rank order) -- the
+    expert-parallel / sequence-resharding primitive.
+    """
+    k = len(ranks)
+    if len(chunks) != k:
+        raise ValueError(f"{len(chunks)} chunk rows for {k} ranks")
+    for i, row in enumerate(chunks):
+        if len(row) != k:
+            raise ValueError(f"rank {i} provides {len(row)} chunks, need {k}")
+    if len(set(ranks)) != k or k == 0:
+        raise ValueError("invalid process group")
+    out: list[list[np.ndarray]] = [[None] * k for _ in range(k)]  # type: ignore
+    for i in range(k):
+        for j in range(k):
+            arr = np.asarray(chunks[i][j]).copy()
+            out[j][i] = arr
+            if log is not None and i != j:
+                log.add(ranks[i], ranks[j], arr.nbytes, kind, tag)
+    return out
+
+
+def barrier(
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    tag: str = "barrier",
+) -> None:
+    """Synchronization point: logs the ring's zero-byte token pass.
+
+    In the single-process engine a barrier is a no-op for ordering (the
+    scheduler is already sequential); it exists so traffic traces show
+    where synchronization happens and cost models can charge latency.
+    """
+    if len(ranks) == 0 or len(set(ranks)) != len(ranks):
+        raise ValueError("invalid process group")
+    if log is not None and len(ranks) > 1:
+        for i in range(len(ranks)):
+            log.add(ranks[i], ranks[(i + 1) % len(ranks)], 0,
+                    TrafficKind.OTHER, tag)
+
+
+def _check(shards: Sequence[np.ndarray], ranks: Sequence[int]) -> None:
+    if len(shards) != len(ranks):
+        raise ValueError(f"{len(shards)} shards for {len(ranks)} ranks")
+    if len(ranks) == 0 or len(set(ranks)) != len(ranks):
+        raise ValueError("invalid process group")

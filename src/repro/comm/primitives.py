@@ -1,0 +1,198 @@
+"""Collective and point-to-point primitives over virtual ranks.
+
+These are the NCCL substitutes: each primitive takes the per-rank
+buffers of one process group (a sequence of numpy arrays, index i
+belonging to global rank ``ranks[i]``), really computes the collective
+with the standard ring algorithm, and logs every hop's bytes to a
+:class:`~repro.comm.traffic.TrafficLog`.
+
+Because the parallel-training engine is single-process and synchronous
+(see DESIGN.md), collectives are invoked once per group rather than once
+per rank; the data movement and byte accounting are identical to the
+per-rank formulation.
+
+Byte-volume identities implemented (and tested against) §3.3.1/§3.2:
+
+- ring all-reduce moves ``2 (k-1)/k * size`` bytes per rank,
+- ring all-gather / reduce-scatter move ``(k-1)/k * size`` per rank,
+- p2p send moves ``size``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .traffic import TrafficKind, TrafficLog
+
+
+def _check_group(buffers: Sequence[np.ndarray], ranks: Sequence[int]) -> None:
+    if len(buffers) != len(ranks):
+        raise ValueError(
+            f"{len(buffers)} buffers for {len(ranks)} ranks -- must match"
+        )
+    if len(ranks) == 0:
+        raise ValueError("empty process group")
+    if len(set(ranks)) != len(ranks):
+        raise ValueError(f"duplicate ranks in group: {ranks}")
+    shape, dtype = buffers[0].shape, buffers[0].dtype
+    for b in buffers[1:]:
+        if b.shape != shape or b.dtype != dtype:
+            raise ValueError("all group buffers must share shape and dtype")
+
+
+def ring_all_reduce(
+    buffers: Sequence[np.ndarray],
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.OTHER,
+    tag: str = "",
+) -> list[np.ndarray]:
+    """Sum-all-reduce via reduce-scatter + all-gather rings.
+
+    Returns new arrays (one per rank), all equal to the element-wise sum.
+    Each rank sends ``2 (k-1)/k`` of the buffer size, the classic
+    bandwidth-optimal ring volume the paper's §3.3.1 ``(d-1)/d`` scaling
+    argument refers to.
+    """
+    _check_group(buffers, ranks)
+    k = len(ranks)
+    if k == 1:
+        return [buffers[0].copy()]
+    flat = [np.ascontiguousarray(b, dtype=np.float64).ravel().copy() for b in buffers]
+    n = flat[0].size
+    bounds = np.linspace(0, n, k + 1).astype(int)
+    itemsize = flat[0].itemsize
+
+    def chunk(i: int) -> slice:
+        j = i % k
+        return slice(bounds[j], bounds[j + 1])
+
+    # Phase 1: reduce-scatter.  Step s: rank i sends chunk (i - s) to
+    # rank i+1, which accumulates.
+    for step in range(k - 1):
+        for i in range(k):
+            src, dst = i, (i + 1) % k
+            sl = chunk(i - step)
+            flat[dst][sl] += flat[src][sl]
+            if log is not None:
+                log.add(
+                    ranks[src],
+                    ranks[dst],
+                    (sl.stop - sl.start) * itemsize,
+                    kind,
+                    tag,
+                )
+    # After phase 1, rank i holds the fully-reduced chunk (i + 1).
+    # Phase 2: all-gather the reduced chunks around the ring.
+    for step in range(k - 1):
+        for i in range(k):
+            src, dst = i, (i + 1) % k
+            sl = chunk(i + 1 - step)
+            flat[dst][sl] = flat[src][sl]
+            if log is not None:
+                log.add(
+                    ranks[src],
+                    ranks[dst],
+                    (sl.stop - sl.start) * itemsize,
+                    kind,
+                    tag,
+                )
+    shape, dtype = buffers[0].shape, buffers[0].dtype
+    return [f.reshape(shape).astype(dtype) for f in flat]
+
+
+def all_gather(
+    shards: Sequence[np.ndarray],
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.OTHER,
+    tag: str = "",
+    axis: int = 0,
+) -> list[np.ndarray]:
+    """Ring all-gather: every rank ends with the concatenation (along
+    ``axis``) of all shards, in group-rank order."""
+    _check_group_like(shards, ranks)
+    k = len(ranks)
+    full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
+    if log is not None and k > 1:
+        # Ring: each rank forwards each of the other k-1 shards once.
+        for step in range(k - 1):
+            for i in range(k):
+                src, dst = i, (i + 1) % k
+                moved = shards[(i - step) % k].nbytes
+                log.add(ranks[src], ranks[dst], moved, kind, tag)
+    return [full.copy() for _ in range(k)]
+
+
+def reduce_scatter(
+    buffers: Sequence[np.ndarray],
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.OTHER,
+    tag: str = "",
+) -> list[np.ndarray]:
+    """Ring reduce-scatter along axis 0: rank i receives the i-th
+    equal slab of the element-wise sum.  Requires axis-0 divisibility."""
+    _check_group(buffers, ranks)
+    k = len(ranks)
+    if buffers[0].shape[0] % k != 0:
+        raise ValueError(
+            f"reduce_scatter needs axis-0 ({buffers[0].shape[0]}) divisible "
+            f"by group size ({k})"
+        )
+    total = np.sum([b.astype(np.float64) for b in buffers], axis=0)
+    slabs = np.split(total, k, axis=0)
+    if log is not None and k > 1:
+        per_rank_bytes = buffers[0].nbytes // k
+        for step in range(k - 1):
+            for i in range(k):
+                log.add(ranks[i], ranks[(i + 1) % k], per_rank_bytes, kind, tag)
+    return [s.astype(buffers[0].dtype) for s in slabs]
+
+
+def broadcast(
+    buffer: np.ndarray,
+    root: int,
+    ranks: Sequence[int],
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.OTHER,
+    tag: str = "",
+) -> list[np.ndarray]:
+    """Broadcast from ``root`` (a global rank in ``ranks``) to the group."""
+    if root not in ranks:
+        raise ValueError(f"root {root} not in group {ranks}")
+    out = []
+    for r in ranks:
+        out.append(np.asarray(buffer).copy())
+        if log is not None and r != root:
+            log.add(root, r, buffer.nbytes, kind, tag)
+    return out
+
+
+def send(
+    buffer: np.ndarray,
+    src: int,
+    dst: int,
+    log: TrafficLog | None = None,
+    kind: TrafficKind = TrafficKind.PIPELINE_P2P,
+    tag: str = "",
+) -> np.ndarray:
+    """Point-to-point transfer; returns the received array."""
+    if src == dst:
+        raise ValueError("p2p send requires distinct src and dst ranks")
+    if log is not None:
+        log.add(src, dst, buffer.nbytes, kind, tag)
+    return np.asarray(buffer).copy()
+
+
+def _check_group_like(shards: Sequence[np.ndarray], ranks: Sequence[int]) -> None:
+    if len(shards) != len(ranks):
+        raise ValueError(
+            f"{len(shards)} shards for {len(ranks)} ranks -- must match"
+        )
+    if len(ranks) == 0:
+        raise ValueError("empty process group")
+    if len(set(ranks)) != len(ranks):
+        raise ValueError(f"duplicate ranks in group: {ranks}")

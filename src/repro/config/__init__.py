@@ -1,0 +1,35 @@
+"""Model and parallelization configuration (paper §3.1 notation)."""
+
+from .model_config import GPTConfig
+from .parallel_config import ParallelConfig
+from .presets import (
+    TABLE1_ROWS,
+    Table1Row,
+    fig7_model,
+    fig11_model,
+    fig13_model,
+    fig14_model,
+    fig16_model,
+    fig17_model,
+    gpt3_175b,
+    gpt_530b,
+    gpt_1t,
+    tiny_test_model,
+)
+
+__all__ = [
+    "GPTConfig",
+    "ParallelConfig",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "fig7_model",
+    "fig11_model",
+    "fig13_model",
+    "fig14_model",
+    "fig16_model",
+    "fig17_model",
+    "gpt3_175b",
+    "gpt_530b",
+    "gpt_1t",
+    "tiny_test_model",
+]

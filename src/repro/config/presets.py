@@ -1,0 +1,203 @@
+"""Model and parallel-configuration presets from the paper's evaluation.
+
+``TABLE1_ROWS`` is the paper's Table 1 verbatim: the ten weak-scaling
+configurations from 1.7B to 1008B parameters, with the parallel degrees,
+GPU counts and batch sizes the authors used, plus their reported
+throughput (for EXPERIMENTS.md comparisons).
+
+The section-5.3--5.7 microbenchmark models are provided as named
+constructors so every benchmark uses identical architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model_config import GPTConfig
+from .parallel_config import ParallelConfig
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    model: GPTConfig
+    parallel: ParallelConfig
+    reported_params_billion: float
+    reported_tflops_per_gpu: float
+    reported_peak_fraction: float
+    reported_aggregate_pflops: float
+
+    @property
+    def num_gpus(self) -> int:
+        return self.parallel.world_size
+
+
+def _row(
+    params_b: float,
+    heads: int,
+    hidden: int,
+    layers: int,
+    t: int,
+    p: int,
+    n: int,
+    batch: int,
+    tflops: float,
+    frac: float,
+    agg: float,
+) -> Table1Row:
+    d = n // (t * p)
+    model = GPTConfig(
+        num_layers=layers,
+        hidden_size=hidden,
+        num_attention_heads=heads,
+        name=f"GPT-{params_b:g}B",
+    )
+    # Table 1 runs use the interleaved schedule when p > 1 (§5.1); the
+    # microbatch sizes are not listed per-row, so we use b chosen such
+    # that m is a multiple of p (b=1 keeps every row valid).
+    parallel = ParallelConfig(
+        pipeline_parallel_size=p,
+        tensor_parallel_size=t,
+        data_parallel_size=d,
+        microbatch_size=1,
+        global_batch_size=batch,
+        num_model_chunks=1,
+    )
+    return Table1Row(
+        model=model,
+        parallel=parallel,
+        reported_params_billion=params_b,
+        reported_tflops_per_gpu=tflops,
+        reported_peak_fraction=frac,
+        reported_aggregate_pflops=agg,
+    )
+
+
+#: The ten rows of Table 1: (params, heads, hidden, layers, t, p, GPUs,
+#: batch size, achieved Tflop/s per GPU, % of peak, aggregate Pflop/s).
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    _row(1.7, 24, 2304, 24, 1, 1, 32, 512, 137, 0.44, 4.4),
+    _row(3.6, 32, 3072, 30, 2, 1, 64, 512, 138, 0.44, 8.8),
+    _row(7.5, 32, 4096, 36, 4, 1, 128, 512, 142, 0.46, 18.2),
+    _row(18.4, 48, 6144, 40, 8, 1, 256, 1024, 135, 0.43, 34.6),
+    _row(39.1, 64, 8192, 48, 8, 2, 512, 1536, 138, 0.44, 70.8),
+    _row(76.1, 80, 10240, 60, 8, 4, 1024, 1792, 140, 0.45, 143.8),
+    _row(145.6, 96, 12288, 80, 8, 8, 1536, 2304, 148, 0.47, 227.1),
+    _row(310.1, 128, 16384, 96, 8, 16, 1920, 2160, 155, 0.50, 297.4),
+    _row(529.6, 128, 20480, 105, 8, 35, 2520, 2520, 163, 0.52, 410.2),
+    _row(1008.0, 160, 25600, 128, 8, 64, 3072, 3072, 163, 0.52, 502.0),
+)
+
+
+def gpt3_175b() -> GPTConfig:
+    """The standard GPT-3 architecture (96 layers, h=12288, 96 heads)."""
+    return GPTConfig(
+        num_layers=96,
+        hidden_size=12288,
+        num_attention_heads=96,
+        name="GPT-3-175B",
+    )
+
+
+def gpt_530b() -> GPTConfig:
+    """The 530B model from Table 1 (105 layers, h=20480, 128 heads)."""
+    return GPTConfig(
+        num_layers=105,
+        hidden_size=20480,
+        num_attention_heads=128,
+        name="GPT-530B",
+    )
+
+
+def gpt_1t() -> GPTConfig:
+    """The trillion-parameter model (128 layers, h=25600, 160 heads)."""
+    return GPTConfig(
+        num_layers=128,
+        hidden_size=25600,
+        num_attention_heads=160,
+        name="GPT-1T",
+    )
+
+
+def fig7_model() -> GPTConfig:
+    """Figure 7/8 model: ~1B params, 128 heads, h=4096, 4 layers."""
+    return GPTConfig(
+        num_layers=4,
+        hidden_size=4096,
+        num_attention_heads=128,
+        name="GPT-Fig7-1B",
+    )
+
+
+def fig11_model(pipeline_parallel_size: int) -> GPTConfig:
+    """Figure 11 weak-scaling model: h=20480, 128 heads, 3 layers per
+    pipeline stage (p=1 -> 3 layers / 15B params, p=8 -> 24 layers /
+    121B params)."""
+    return GPTConfig(
+        num_layers=3 * pipeline_parallel_size,
+        hidden_size=20480,
+        num_attention_heads=128,
+        name=f"GPT-Fig11-p{pipeline_parallel_size}",
+    )
+
+
+def fig13_model() -> GPTConfig:
+    """Figure 13 model: 162B params (32 layers, h=20480, 128 heads)."""
+    return GPTConfig(
+        num_layers=32,
+        hidden_size=20480,
+        num_attention_heads=128,
+        name="GPT-Fig13-162B",
+    )
+
+
+def fig14_model() -> GPTConfig:
+    """Figure 14/15 model: 5.9B params (32 layers, h=3840, 32 heads)."""
+    return GPTConfig(
+        num_layers=32,
+        hidden_size=3840,
+        num_attention_heads=32,
+        name="GPT-Fig14-5.9B",
+    )
+
+
+def fig16_model() -> GPTConfig:
+    """Figure 16 model: 91B params ((t,p)=(8,8); 72 layers, h=10240)."""
+    # The paper does not list l/h for the 91B model; 72 layers with
+    # h=10240 and 80 heads gives 91.2B by eq. (2) and divides evenly
+    # into 8 pipeline stages.
+    return GPTConfig(
+        num_layers=72,
+        hidden_size=10240,
+        num_attention_heads=80,
+        name="GPT-Fig16-91B",
+    )
+
+
+def fig17_model() -> GPTConfig:
+    """Figure 17 model: 145B params (80 layers, h=12288, 96 heads)."""
+    return GPTConfig(
+        num_layers=80,
+        hidden_size=12288,
+        num_attention_heads=96,
+        name="GPT-Fig17-145B",
+    )
+
+
+def tiny_test_model(
+    num_layers: int = 2,
+    hidden_size: int = 16,
+    num_attention_heads: int = 4,
+    vocab_size: int = 64,
+    seq_length: int = 8,
+) -> GPTConfig:
+    """A miniature GPT for unit/integration tests of the numerics."""
+    return GPTConfig(
+        num_layers=num_layers,
+        hidden_size=hidden_size,
+        num_attention_heads=num_attention_heads,
+        vocab_size=vocab_size,
+        seq_length=seq_length,
+        name="GPT-tiny",
+    )

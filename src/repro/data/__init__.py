@@ -1,0 +1,7 @@
+"""Data substrate: tokenizer, synthetic corpora, sharded loading."""
+
+from .dataset import TokenDataset, synthetic_corpus
+from .loader import ShardedBatchLoader
+from .tokenizer import BPETokenizer
+
+__all__ = ["TokenDataset", "synthetic_corpus", "ShardedBatchLoader", "BPETokenizer"]

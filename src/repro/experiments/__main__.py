@@ -1,0 +1,35 @@
+"""Print every reproduced table and figure: python -m repro.experiments.
+
+Pass --plot to additionally render ASCII charts of the figure shapes.
+"""
+
+import sys
+
+from . import REGISTRY
+from .fig03_fig04_schedules import render_all
+from .plots import plot_experiment
+from .report import print_result
+
+
+def main(argv: list[str]) -> int:
+    plot = "--plot" in argv
+    wanted = [a for a in argv if a != "--plot"] or list(REGISTRY)
+    for key in wanted:
+        if key not in REGISTRY:
+            print(f"unknown experiment {key!r}; choose from {sorted(REGISTRY)}")
+            return 1
+        result = REGISTRY[key]()
+        print_result(result)
+        if plot:
+            chart = plot_experiment(result)
+            if chart:
+                print(chart)
+                print()
+        if key == "fig03_fig04":
+            print(render_all())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

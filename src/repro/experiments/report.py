@@ -1,0 +1,64 @@
+"""Uniform experiment-result container and text-table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {self.columns}") from None
+        return [r[idx] for r in self.rows]
+
+    def to_text(self) -> str:
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+
+        table = [tuple(map(fmt, self.columns))] + [
+            tuple(map(fmt, r)) for r in self.rows
+        ]
+        widths = [max(len(row[i]) for row in table) for i in range(len(self.columns))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for j, row in enumerate(table):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def print_result(result: ExperimentResult) -> None:  # pragma: no cover
+    print(result.to_text())
+    print()
+
+
+def series_monotone(values: Sequence[float], *, decreasing: bool = False) -> bool:
+    """Whether a series is (weakly) monotone -- used in shape assertions."""
+    pairs = zip(values, values[1:])
+    if decreasing:
+        return all(a >= b for a, b in pairs)
+    return all(a <= b for a, b in pairs)

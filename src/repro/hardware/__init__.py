@@ -1,0 +1,22 @@
+"""Hardware models: devices, nodes, cluster topology, roofline timing."""
+
+from .device import GB, TB, TFLOP, DeviceSpec, a100_80gb, v100_32gb
+from .node import NodeSpec, dgx_a100
+from .roofline import ComputeModel, GemmShape
+from .topology import ClusterTopology, cluster_for_gpus, selene
+
+__all__ = [
+    "GB",
+    "TB",
+    "TFLOP",
+    "DeviceSpec",
+    "a100_80gb",
+    "v100_32gb",
+    "NodeSpec",
+    "dgx_a100",
+    "ComputeModel",
+    "GemmShape",
+    "ClusterTopology",
+    "cluster_for_gpus",
+    "selene",
+]

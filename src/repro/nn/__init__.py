@@ -1,0 +1,44 @@
+"""Numerical NN substrate: explicit-backward numpy transformer."""
+
+from . import functional
+from .generate import generate, perplexity
+from .gradcheck import check_module_gradients, numerical_gradient
+from .layers import Dropout, Embedding, GeLU, LayerNorm, Linear, default_init
+from .module import Module, Parameter
+from .lr_scheduler import LinearSchedule, WarmupCosineSchedule
+from .optim import SGD, Adam, MixedPrecision
+from .transformer import (
+    MLP,
+    CausalSelfAttention,
+    EmbeddingStage,
+    GPTModel,
+    OutputHead,
+    TransformerBlock,
+)
+
+__all__ = [
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "GeLU",
+    "Embedding",
+    "default_init",
+    "CausalSelfAttention",
+    "MLP",
+    "TransformerBlock",
+    "EmbeddingStage",
+    "OutputHead",
+    "GPTModel",
+    "SGD",
+    "Adam",
+    "MixedPrecision",
+    "generate",
+    "perplexity",
+    "LinearSchedule",
+    "WarmupCosineSchedule",
+    "check_module_gradients",
+    "numerical_gradient",
+]

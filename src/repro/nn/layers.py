@@ -1,0 +1,135 @@
+"""Basic neural-network layers with explicit backward passes."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from . import functional as F
+from .module import Module, Parameter
+
+
+def default_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int, scale: float = 0.02
+) -> np.ndarray:
+    """Megatron-style init: N(0, scale^2); scale defaults to GPT-2's 0.02."""
+    return rng.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """y = x W + b, W of shape (in_features, out_features)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        weight: np.ndarray | None = None,
+        bias_value: np.ndarray | None = None,
+    ):
+        if weight is None:
+            rng = rng or np.random.default_rng(0)
+            weight = default_init(rng, in_features, out_features)
+        if weight.shape != (in_features, out_features):
+            raise ValueError(
+                f"weight shape {weight.shape} != ({in_features}, {out_features})"
+            )
+        self.weight = Parameter(weight)
+        self.bias: Parameter | None = None
+        if bias:
+            if bias_value is None:
+                bias_value = np.zeros(out_features)
+            self.bias = Parameter(bias_value)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x, *, training=True, rng=None):
+        y, cache = F.linear_forward(
+            x, self.weight.data, self.bias.data if self.bias else None
+        )
+        return y, cache
+
+    def backward(self, dy, cache):
+        dx, dw, db = F.linear_backward(dy, cache)
+        self.weight.grad += dw
+        if self.bias is not None:
+            self.bias.grad += db
+        return dx
+
+
+class LayerNorm(Module):
+    def __init__(self, hidden_size: int, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(hidden_size))
+        self.beta = Parameter(np.zeros(hidden_size))
+        self.eps = eps
+
+    def forward(self, x, *, training=True, rng=None):
+        return F.layer_norm_forward(x, self.gamma.data, self.beta.data, self.eps)
+
+    def backward(self, dy, cache):
+        dx, dgamma, dbeta = F.layer_norm_backward(dy, cache)
+        self.gamma.grad += dgamma
+        self.beta.grad += dbeta
+        return dx
+
+
+class Dropout(Module):
+    """Inverted dropout; stateless apart from the probability.
+
+    The rng must be supplied per forward call by the training loop (a
+    deterministic stream keyed on (layer, microbatch) so that activation
+    recomputation replays the identical mask, §3.5).
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x, *, training=True, rng=None):
+        if training and self.p > 0.0 and rng is None:
+            raise ValueError("Dropout with p > 0 requires an rng in training mode")
+        return F.dropout_forward(x, self.p, rng, training)
+
+    def backward(self, dy, mask):
+        return F.dropout_backward(dy, mask)
+
+
+class GeLU(Module):
+    def forward(self, x, *, training=True, rng=None):
+        return F.gelu_forward(x)
+
+    def backward(self, dy, cache):
+        return F.gelu_backward(dy, cache)
+
+
+class Embedding(Module):
+    """Token embedding lookup: int ids (...,) -> vectors (..., h)."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        *,
+        rng: np.random.Generator | None = None,
+        weight: np.ndarray | None = None,
+    ):
+        if weight is None:
+            rng = rng or np.random.default_rng(0)
+            weight = default_init(rng, num_embeddings, embedding_dim)
+        self.weight = Parameter(weight)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, ids, *, training=True, rng=None):
+        ids = np.asarray(ids)
+        if ids.min() < 0 or ids.max() >= self.num_embeddings:
+            raise ValueError("embedding ids out of range")
+        return self.weight.data[ids], ids
+
+    def backward(self, dy, ids):
+        np.add.at(self.weight.grad, ids, dy)
+        return np.zeros(ids.shape)  # ids carry no gradient

@@ -1,0 +1,138 @@
+"""Optimizers: SGD and Adam, plus a mixed-precision wrapper.
+
+Optimizers operate on :class:`~repro.nn.module.Parameter` lists.  The
+mixed-precision wrapper emulates the paper's fp16 training (§5: "all of
+our results are run with mixed precision"): parameters are cast to
+float16 for the forward/backward compute while fp32/fp64 master copies
+receive the update, with static loss scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+
+class SGD:
+    """Plain (optionally momentum) SGD."""
+
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam with bias correction (the optimizer used for GPT training)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        b1, b2 = betas
+        if not (0 <= b1 < 1 and 0 <= b2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        b1, b2 = self.betas
+        bc1 = 1.0 - b1**self.step_count
+        bc2 = 1.0 - b2**self.step_count
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def state_nbytes(self) -> int:
+        """Bytes of optimizer state (m and v) -- the memory ZeRO shards."""
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
+
+
+class MixedPrecision:
+    """Static-loss-scaled fp16 emulation around another optimizer.
+
+    Workflow per iteration::
+
+        mp.cast_params_to_half()        # fp16 weights for compute
+        loss = model.loss(...)          # caller scales dlogits by mp.loss_scale
+        mp.unscale_and_restore()        # fp32 master weights + unscaled grads
+        optimizer.step()
+
+    The fp16 round-trip is emulated by casting through ``np.float16``.
+    """
+
+    def __init__(self, params: list[Parameter], loss_scale: float = 1024.0):
+        if loss_scale <= 0:
+            raise ValueError("loss_scale must be positive")
+        self.params = list(params)
+        self.loss_scale = loss_scale
+        self._master: list[np.ndarray] | None = None
+
+    def cast_params_to_half(self) -> None:
+        if self._master is not None:
+            raise RuntimeError("params already cast; call unscale_and_restore first")
+        self._master = [p.data.copy() for p in self.params]
+        for p in self.params:
+            p.data[...] = p.data.astype(np.float16).astype(np.float64)
+
+    def unscale_and_restore(self) -> bool:
+        """Restore master weights; unscale grads.  Returns False (and
+        zeroes grads) if any gradient overflowed to inf/nan, mimicking
+        dynamic-loss-scale skip behavior."""
+        if self._master is None:
+            raise RuntimeError("cast_params_to_half was not called")
+        ok = True
+        for p in self.params:
+            if not np.isfinite(p.grad).all():
+                ok = False
+                break
+        for p, master in zip(self.params, self._master):
+            p.data[...] = master
+            if ok:
+                p.grad /= self.loss_scale
+            else:
+                p.grad.fill(0.0)
+        self._master = None
+        return ok

@@ -1,0 +1,333 @@
+"""GPT transformer: attention, MLP, block, embedding and head stages.
+
+The model is organized as a flat list of *pipeline-able layers*
+(:attr:`GPTModel.layers`): an embedding stage, ``l`` transformer blocks,
+and an output head.  Every layer implements the uniform
+``forward -> (y, cache)`` / ``backward(dy, cache) -> dx`` protocol, so
+the pipeline-parallel engine can split the list at any block boundary
+(§2.2's "each device can be assigned an equal number of transformer
+layers").
+
+The output head ties its projection to the token-embedding matrix by
+sharing the same :class:`Parameter` (gradients from both uses accumulate
+into one tensor), matching Megatron's weight tying.  When the model is
+split across pipeline stages the tie becomes two copies synchronized by
+an all-reduce -- see ``repro.parallel.pipeline_parallel``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GPTConfig
+
+from . import functional as F
+from .layers import Dropout, Embedding, GeLU, LayerNorm, Linear, default_init
+from .profiler import matmul_flops, record_gemm_flops
+from .module import Module, Parameter
+
+
+class CausalSelfAttention(Module):
+    """Multi-head self-attention with implicit causal masking.
+
+    QKV weight layout is ``concat([Wq, Wk, Wv], axis=1)`` with heads
+    occupying contiguous column blocks -- the layout Megatron's
+    column-parallel split assumes.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        *,
+        attention_dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+        qkv_weight: np.ndarray | None = None,
+        qkv_bias: np.ndarray | None = None,
+        proj_weight: np.ndarray | None = None,
+        proj_bias: np.ndarray | None = None,
+    ):
+        if hidden_size % num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.head_dim = hidden_size // num_heads
+        self.qkv = Linear(
+            hidden_size,
+            3 * hidden_size,
+            rng=rng,
+            weight=qkv_weight,
+            bias_value=qkv_bias,
+        )
+        self.proj = Linear(
+            hidden_size,
+            hidden_size,
+            rng=rng,
+            weight=proj_weight,
+            bias_value=proj_bias,
+        )
+        self.attn_dropout = Dropout(attention_dropout)
+
+    def forward(self, x, *, training=True, rng=None):
+        b, s, h = x.shape
+        a, dk = self.num_heads, self.head_dim
+        qkv, qkv_cache = self.qkv.forward(x)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        # (b, s, h) -> (b, a, s, dk)
+        q = q.reshape(b, s, a, dk).transpose(0, 2, 1, 3)
+        k = k.reshape(b, s, a, dk).transpose(0, 2, 1, 3)
+        v = v.reshape(b, s, a, dk).transpose(0, 2, 1, 3)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(dk)
+        scores = scores + F.causal_mask(s)
+        probs, probs_cache = F.softmax_forward(scores)
+        dropped, drop_mask = self.attn_dropout.forward(probs, training=training, rng=rng)
+        ctx = dropped @ v  # (b, a, s, dk)
+        record_gemm_flops("attention", 2 * matmul_flops(b, a, s, dk, s))
+        merged = ctx.transpose(0, 2, 1, 3).reshape(b, s, h)
+        out, proj_cache = self.proj.forward(merged)
+        cache = (qkv_cache, q, k, v, probs_cache, drop_mask, dropped, proj_cache, (b, s))
+        return out, cache
+
+    def backward(self, dy, cache):
+        qkv_cache, q, k, v, probs_cache, drop_mask, dropped, proj_cache, (b, s) = cache
+        a, dk, h = self.num_heads, self.head_dim, self.hidden_size
+        dmerged = self.proj.backward(dy, proj_cache)
+        dctx = dmerged.reshape(b, s, a, dk).transpose(0, 2, 1, 3)
+        ddropped = dctx @ v.transpose(0, 1, 3, 2)
+        dv = dropped.transpose(0, 1, 3, 2) @ dctx
+        dprobs = self.attn_dropout.backward(ddropped, drop_mask)
+        dscores = F.softmax_backward(dprobs, probs_cache)
+        dscores = dscores / np.sqrt(dk)
+        dq = dscores @ k
+        dk_grad = dscores.transpose(0, 1, 3, 2) @ q
+        record_gemm_flops("attention", 4 * matmul_flops(b, a, s, dk, s))
+        # (b, a, s, dk) -> (b, s, h)
+        dq = dq.transpose(0, 2, 1, 3).reshape(b, s, h)
+        dk_grad = dk_grad.transpose(0, 2, 1, 3).reshape(b, s, h)
+        dv = dv.transpose(0, 2, 1, 3).reshape(b, s, h)
+        dqkv = np.concatenate([dq, dk_grad, dv], axis=-1)
+        return self.qkv.backward(dqkv, qkv_cache)
+
+
+class MLP(Module):
+    """Two-layer feed-forward: h -> ffn -> h with GeLU."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        ffn_hidden_size: int,
+        *,
+        rng: np.random.Generator | None = None,
+        fc1_weight: np.ndarray | None = None,
+        fc1_bias: np.ndarray | None = None,
+        fc2_weight: np.ndarray | None = None,
+        fc2_bias: np.ndarray | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.fc1 = Linear(
+            hidden_size, ffn_hidden_size, rng=rng, weight=fc1_weight, bias_value=fc1_bias
+        )
+        self.act = GeLU()
+        self.fc2 = Linear(
+            ffn_hidden_size, hidden_size, rng=rng, weight=fc2_weight, bias_value=fc2_bias
+        )
+
+    def forward(self, x, *, training=True, rng=None):
+        u, c1 = self.fc1.forward(x)
+        g, c2 = self.act.forward(u)
+        y, c3 = self.fc2.forward(g)
+        return y, (c1, c2, c3)
+
+    def backward(self, dy, cache):
+        c1, c2, c3 = cache
+        dg = self.fc2.backward(dy, c3)
+        du = self.act.backward(dg, c2)
+        return self.fc1.backward(du, c1)
+
+
+class TransformerBlock(Module):
+    """Pre-LayerNorm transformer block (GPT-2 style):
+
+        x = x + Dropout(Attn(LN1(x)))
+        x = x + Dropout(MLP(LN2(x)))
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        ffn_hidden_size: int | None = None,
+        *,
+        dropout: float = 0.0,
+        attention_dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        ffn_hidden_size = ffn_hidden_size or 4 * hidden_size
+        self.ln1 = LayerNorm(hidden_size)
+        self.attn = CausalSelfAttention(
+            hidden_size, num_heads, attention_dropout=attention_dropout, rng=rng
+        )
+        self.drop1 = Dropout(dropout)
+        self.ln2 = LayerNorm(hidden_size)
+        self.mlp = MLP(hidden_size, ffn_hidden_size, rng=rng)
+        self.drop2 = Dropout(dropout)
+
+    def forward(self, x, *, training=True, rng=None):
+        a, c_ln1 = self.ln1.forward(x)
+        b, c_attn = self.attn.forward(a, training=training, rng=rng)
+        d, m1 = self.drop1.forward(b, training=training, rng=rng)
+        x1 = x + d
+        e, c_ln2 = self.ln2.forward(x1)
+        f, c_mlp = self.mlp.forward(e, training=training, rng=rng)
+        g, m2 = self.drop2.forward(f, training=training, rng=rng)
+        y = x1 + g
+        return y, (c_ln1, c_attn, m1, c_ln2, c_mlp, m2)
+
+    def backward(self, dy, cache):
+        c_ln1, c_attn, m1, c_ln2, c_mlp, m2 = cache
+        dg = self.drop2.backward(dy, m2)
+        df = self.mlp.backward(dg, c_mlp)
+        dx1 = dy + self.ln2.backward(df, c_ln2)
+        dd = self.drop1.backward(dx1, m1)
+        db = self.attn.backward(dd, c_attn)
+        dx = dx1 + self.ln1.backward(db, c_ln1)
+        return dx
+
+
+class EmbeddingStage(Module):
+    """Token + learned position embeddings, with embedding dropout."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_size: int,
+        max_seq_length: int,
+        *,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.wte = Embedding(vocab_size, hidden_size, rng=rng)
+        self.wpe = Embedding(max_seq_length, hidden_size, rng=rng)
+        self.drop = Dropout(dropout)
+        self.vocab_size = vocab_size
+        self.max_seq_length = max_seq_length
+
+    def forward(self, token_ids, *, training=True, rng=None):
+        token_ids = np.asarray(token_ids)
+        b, s = token_ids.shape
+        if s > self.max_seq_length:
+            raise ValueError(f"sequence length {s} exceeds max {self.max_seq_length}")
+        tok, c_tok = self.wte.forward(token_ids)
+        positions = np.arange(s)
+        pos, c_pos = self.wpe.forward(positions)
+        x = tok + pos  # pos broadcasts over batch
+        y, mask = self.drop.forward(x, training=training, rng=rng)
+        return y, (c_tok, c_pos, mask, b)
+
+    def backward(self, dy, cache):
+        c_tok, c_pos, mask, b = cache
+        dx = self.drop.backward(dy, mask)
+        self.wte.backward(dx, c_tok)
+        self.wpe.backward(dx.sum(axis=0), c_pos)
+        return np.zeros(c_tok.shape)  # token ids: no gradient
+
+
+class OutputHead(Module):
+    """Final LayerNorm + logits against the (tied) embedding matrix."""
+
+    def __init__(self, hidden_size: int, tied_embedding: Parameter):
+        self.ln_f = LayerNorm(hidden_size)
+        self.tied = tied_embedding  # shared Parameter (V, h)
+
+    def forward(self, x, *, training=True, rng=None):
+        xn, c_ln = self.ln_f.forward(x)
+        logits = xn @ self.tied.data.T
+        record_gemm_flops(
+            "logit", matmul_flops(xn.size // xn.shape[-1], *self.tied.data.shape)
+        )
+        return logits, (c_ln, xn)
+
+    def backward(self, dlogits, cache):
+        c_ln, xn = cache
+        dxn = dlogits @ self.tied.data
+        flat_x = xn.reshape(-1, xn.shape[-1])
+        flat_dl = dlogits.reshape(-1, dlogits.shape[-1])
+        self.tied.grad += flat_dl.T @ flat_x
+        record_gemm_flops(
+            "logit", 2 * matmul_flops(flat_x.shape[0], *self.tied.data.shape)
+        )
+        return self.ln_f.backward(dxn, c_ln)
+
+
+class GPTModel(Module):
+    """A complete GPT: embedding stage, blocks, output head.
+
+    Built deterministically from a seed so that tensor/pipeline-parallel
+    builders can reconstruct identical full weights and shard them.
+    """
+
+    def __init__(
+        self,
+        config: GPTConfig,
+        *,
+        seed: int = 0,
+        dropout: float = 0.0,
+        attention_dropout: float = 0.0,
+    ):
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.embedding = EmbeddingStage(
+            config.vocab_size,
+            config.hidden_size,
+            config.seq_length,
+            dropout=dropout,
+            rng=rng,
+        )
+        self.blocks = [
+            TransformerBlock(
+                config.hidden_size,
+                config.num_attention_heads,
+                config.ffn_hidden_size,
+                dropout=dropout,
+                attention_dropout=attention_dropout,
+                rng=rng,
+            )
+            for _ in range(config.num_layers)
+        ]
+        self.head = OutputHead(config.hidden_size, self.embedding.wte.weight)
+
+    @property
+    def layers(self) -> list[Module]:
+        """Pipeline-able layer list: [embedding, block_0..block_{l-1}, head]."""
+        return [self.embedding, *self.blocks, self.head]
+
+    def forward(self, token_ids, *, training=True, rng=None):
+        caches = []
+        x = token_ids
+        for layer in self.layers:
+            x, c = layer.forward(x, training=training, rng=rng)
+            caches.append(c)
+        return x, caches
+
+    def backward(self, dlogits, caches):
+        dy = dlogits
+        for layer, cache in zip(reversed(self.layers), reversed(caches)):
+            dy = layer.backward(dy, cache)
+        return dy
+
+    def loss(
+        self, token_ids, targets, *, training=True, rng=None
+    ) -> tuple[float, list]:
+        """Cross-entropy loss; returns (loss, caches-with-loss-cache)."""
+        logits, caches = self.forward(token_ids, training=training, rng=rng)
+        loss, ce_cache = F.cross_entropy_forward(logits, targets)
+        caches.append(ce_cache)
+        return loss, caches
+
+    def loss_backward(self, caches, scale: float = 1.0):
+        ce_cache = caches[-1]
+        dlogits = F.cross_entropy_backward(ce_cache, scale)
+        return self.backward(dlogits, caches[:-1])

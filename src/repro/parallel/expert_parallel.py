@@ -1,0 +1,228 @@
+"""Expert (mixture-of-experts) parallelism -- the Switch-Transformer
+extension the paper's related work points at (§6, Fedus et al.).
+
+Implements top-1 ("Switch") routing:
+
+- :class:`SwitchMLP` -- a drop-in replacement for the dense MLP: a
+  linear router scores ``E`` expert MLPs per token, each token is
+  dispatched to its argmax expert, and the expert output is scaled by
+  the router probability (which carries the router's gradient).  The
+  Switch auxiliary load-balancing loss (``E * sum_e f_e * P_e``) is
+  computed alongside.
+- :class:`ExpertParallelSwitchMLP` -- the same layer with experts
+  sharded across an expert-parallel group: tokens are exchanged with the
+  :func:`~repro.comm.extras.all_to_all` primitive (the defining MoE
+  collective), each rank runs only its local experts, and outputs return
+  via a second all-to-all.  Numerically identical to the single-rank
+  layer -- the same strict-semantics standard as the rest of the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm import TrafficKind, TrafficLog, all_to_all
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.transformer import MLP
+
+
+class SwitchMLP(Module):
+    """Top-1 routed mixture of expert MLPs (Switch Transformer)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        ffn_hidden_size: int,
+        num_experts: int,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        if num_experts < 1:
+            raise ValueError("num_experts must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.router = Parameter(
+            rng.normal(0.0, 0.02, size=(hidden_size, num_experts))
+        )
+        self.experts = [
+            MLP(hidden_size, ffn_hidden_size, rng=rng) for _ in range(num_experts)
+        ]
+
+    # -- routing --------------------------------------------------------------
+    def route(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(probs, chosen expert per token, gate per token) for flat x."""
+        logits = x @ self.router.data
+        probs, _ = F.softmax_forward(logits)
+        chosen = np.argmax(probs, axis=-1)
+        gates = probs[np.arange(x.shape[0]), chosen]
+        return probs, chosen, gates
+
+    def forward(self, x, *, training=True, rng=None):
+        orig_shape = x.shape
+        flat = x.reshape(-1, self.hidden_size)
+        probs, chosen, gates = self.route(flat)
+        out = np.zeros_like(flat)
+        expert_caches: list = [None] * self.num_experts
+        token_idx: list = [None] * self.num_experts
+        for e in range(self.num_experts):
+            idx = np.nonzero(chosen == e)[0]
+            token_idx[e] = idx
+            if idx.size == 0:
+                continue
+            y, cache = self.experts[e].forward(
+                flat[idx], training=training, rng=rng
+            )
+            out[idx] = gates[idx, None] * y
+            expert_caches[e] = (cache, y)
+        aux = self.aux_loss(probs, chosen)
+        cache = (flat, probs, chosen, gates, expert_caches, token_idx, orig_shape)
+        return out.reshape(orig_shape), (cache, aux)
+
+    def backward(self, dy, cache_and_aux):
+        cache, _aux = cache_and_aux
+        flat_x, probs, chosen, gates, expert_caches, token_idx, orig_shape = cache
+        n = flat_x.shape[0]
+        dflat = dy.reshape(n, self.hidden_size)
+        dx = np.zeros_like(flat_x)
+        dgates = np.zeros(n)
+        for e in range(self.num_experts):
+            idx = token_idx[e]
+            if idx is None or idx.size == 0:
+                continue
+            ex_cache, y = expert_caches[e]
+            # d/dy_expert = gate * dy ; d/dgate = dy . y
+            dgates[idx] = np.einsum("ij,ij->i", dflat[idx], y)
+            dx_expert = self.experts[e].backward(
+                gates[idx, None] * dflat[idx], ex_cache
+            )
+            dx[idx] += dx_expert
+        # Router gradient: gate = softmax(logits)[chosen]; upstream dgates.
+        dprobs = np.zeros_like(probs)
+        dprobs[np.arange(n), chosen] = dgates
+        dlogits = F.softmax_backward(dprobs, probs)
+        self.router.grad += flat_x.T @ dlogits
+        dx += dlogits @ self.router.data.T
+        return dx.reshape(orig_shape)
+
+    def aux_loss(self, probs: np.ndarray, chosen: np.ndarray) -> float:
+        """Switch load-balancing loss: ``E * sum_e f_e * P_e`` where
+        f_e is the fraction of tokens routed to expert e and P_e the
+        mean router probability of e.  Equals 1.0 under perfect balance."""
+        E = self.num_experts
+        f = np.bincount(chosen, minlength=E) / max(1, chosen.size)
+        P = probs.mean(axis=0)
+        return float(E * np.sum(f * P))
+
+
+@dataclass
+class ExpertParallelGroup:
+    """The expert-parallel process group."""
+
+    ranks: list[int]
+    log: TrafficLog = field(default_factory=TrafficLog)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+
+class ExpertParallelSwitchMLP(Module):
+    """Switch MLP with experts sharded over an expert-parallel group.
+
+    Rank r owns experts ``[r*E/e, (r+1)*E/e)``.  Per forward pass:
+    tokens are bucketed by destination rank, exchanged with all-to-all,
+    processed by the local experts, and returned with a second
+    all-to-all -- the canonical MoE communication pattern, byte-logged.
+    """
+
+    def __init__(self, serial: SwitchMLP, group: ExpertParallelGroup):
+        e = group.size
+        if serial.num_experts % e != 0:
+            raise ValueError(
+                f"{serial.num_experts} experts not divisible over "
+                f"{e} expert-parallel ranks"
+            )
+        self.group = group
+        self.serial = serial  # shares Parameters: shard-free weights
+        self.experts_per_rank = serial.num_experts // e
+        self.hidden_size = serial.hidden_size
+        self.num_experts = serial.num_experts
+
+    def expert_rank(self, expert: np.ndarray) -> np.ndarray:
+        return expert // self.experts_per_rank
+
+    def forward(self, x, *, training=True, rng=None):
+        orig_shape = x.shape
+        flat = x.reshape(-1, self.hidden_size)
+        probs, chosen, gates = self.serial.route(flat)
+        e = self.group.size
+        dest = self.expert_rank(chosen)
+        # Every rank holds the full (replicated) input here; bucket the
+        # tokens by destination rank and exchange them.  chunks[i][j] is
+        # what rank i sends rank j: its 1/e slice of tokens bound for j.
+        owner = np.arange(flat.shape[0]) % e  # which rank "has" each token
+        send_idx = [[np.nonzero((owner == i) & (dest == j))[0]
+                     for j in range(e)] for i in range(e)]
+        chunks = [[flat[send_idx[i][j]] for j in range(e)] for i in range(e)]
+        received = all_to_all(
+            chunks, self.group.ranks, self.group.log,
+            TrafficKind.OTHER, "moe.dispatch",
+        )
+        # Rank j processes its local experts on everything it received.
+        out = np.zeros_like(flat)
+        expert_caches: list = [None] * self.num_experts
+        token_idx: list = [None] * self.num_experts
+        for j in range(e):
+            idx = np.concatenate([send_idx[i][j] for i in range(e)])
+            if idx.size == 0:
+                continue
+            for local in range(self.experts_per_rank):
+                ex = j * self.experts_per_rank + local
+                sel = idx[chosen[idx] == ex]
+                token_idx[ex] = sel
+                if sel.size == 0:
+                    continue
+                y, cache = self.serial.experts[ex].forward(
+                    flat[sel], training=training, rng=rng
+                )
+                out[sel] = gates[sel, None] * y
+                expert_caches[ex] = (cache, y)
+                # Return path: results travel back to the token's owner.
+                for i in range(e):
+                    back = np.intersect1d(sel, send_idx[i][j])
+                    if back.size and i != j:
+                        self.group.log.add(
+                            self.group.ranks[j], self.group.ranks[i],
+                            int(back.size * self.hidden_size * 8),
+                            TrafficKind.OTHER, "moe.combine",
+                        )
+        aux = self.serial.aux_loss(probs, chosen)
+        cache = (flat, probs, chosen, gates, expert_caches, token_idx, orig_shape)
+        return out.reshape(orig_shape), (cache, aux)
+
+    def backward(self, dy, cache_and_aux):
+        # The backward dataflow retraces the all-to-all (logged as one
+        # combined volume); the math is identical to the serial layer's.
+        cache, _ = cache_and_aux
+        flat = cache[0]
+        e = self.group.size
+        if e > 1:
+            per_rank = flat.nbytes // e
+            for i in range(e):
+                for j in range(e):
+                    if i != j:
+                        self.group.log.add(
+                            self.group.ranks[i], self.group.ranks[j],
+                            per_rank // e, TrafficKind.OTHER, "moe.bwd",
+                        )
+        return self.serial.backward(dy, cache_and_aux)
+
+    def parameters(self):
+        return self.serial.parameters()
+
+    def zero_grad(self):
+        self.serial.zero_grad()

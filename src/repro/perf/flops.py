@@ -1,0 +1,58 @@
+"""FLOP and training-time arithmetic (eqs. 2-4, §5.1, appendix)."""
+
+from __future__ import annotations
+
+from repro.config import GPTConfig
+
+SECONDS_PER_DAY = 86400.0
+
+
+def parameters(config: GPTConfig) -> int:
+    """Eq. (2) parameter count."""
+    return config.num_parameters()
+
+
+def flops_per_iteration(config: GPTConfig, batch_size: int, *,
+                        with_recompute: bool = True) -> int:
+    """Eq. (3) FLOPs per training iteration."""
+    return config.flops_per_iteration(batch_size, with_recompute=with_recompute)
+
+
+def iterations_for_tokens(tokens: float, batch_size: int, seq_length: int) -> float:
+    """§5.1: ``I = T / (B s)``."""
+    if tokens <= 0 or batch_size < 1 or seq_length < 1:
+        raise ValueError("tokens, batch_size, seq_length must be positive")
+    return tokens / (batch_size * seq_length)
+
+
+def training_time_days(
+    num_parameters: float,
+    tokens: float,
+    num_gpus: int,
+    achieved_flops_per_gpu: float,
+) -> float:
+    """Eq. (4): end-to-end training time ~= 8 T P / (n X), in days.
+
+    The approximation holds when 6h >> s, 16lh >> V + s, 12lh >> V
+    (true for all Table-1 configurations).
+    """
+    if num_parameters <= 0 or tokens <= 0:
+        raise ValueError("num_parameters and tokens must be positive")
+    if num_gpus < 1 or achieved_flops_per_gpu <= 0:
+        raise ValueError("num_gpus and achieved_flops_per_gpu must be positive")
+    seconds = 8 * tokens * num_parameters / (num_gpus * achieved_flops_per_gpu)
+    return seconds / SECONDS_PER_DAY
+
+
+def training_time_days_exact(
+    config: GPTConfig,
+    tokens: float,
+    batch_size: int,
+    num_gpus: int,
+    achieved_flops_per_gpu: float,
+) -> float:
+    """Training time from the exact eq. (3) FLOPs instead of eq. (4)."""
+    iters = iterations_for_tokens(tokens, batch_size, config.seq_length)
+    per_iter = config.flops_per_iteration(batch_size)
+    seconds = iters * per_iter / (num_gpus * achieved_flops_per_gpu)
+    return seconds / SECONDS_PER_DAY

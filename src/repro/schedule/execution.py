@@ -1,0 +1,252 @@
+"""Dependency semantics and execution of pipeline schedules.
+
+Defines *what a schedule op must wait for* (the cross-stage dataflow of
+synchronous pipeline training) and two executors over that dataflow:
+
+- :func:`execute` -- run a schedule to completion in dependency order,
+  invoking a caller-supplied handler per op.  This is the machinery the
+  numerical pipeline-parallel engine drives its real forward/backward
+  passes with, and doubles as the validator: an infeasible per-device
+  order (one that cannot be interleaved into any legal global order)
+  raises :class:`DeadlockError`.
+- :func:`simulate_times` -- compute start/finish times for every op
+  given forward/backward durations and a p2p latency, i.e. produce the
+  Figure 3/4 timelines and measured bubble fractions.
+
+Dependency rules (strict synchronous semantics, §2.2):
+
+- ``F(mb, stage)`` needs ``F(mb, stage-1)`` (activations from the
+  previous stage), except for stage 0.
+- ``B(mb, stage)`` needs ``F(mb, stage)`` on the same stage (stashed
+  activations) and ``B(mb, stage+1)`` (gradient from the next stage),
+  except for the last stage which starts the backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .ir import OpKind, PipelineSchedule, ScheduleOp
+
+
+class DeadlockError(RuntimeError):
+    """The schedule's per-device op orders admit no legal interleaving."""
+
+
+@dataclass(frozen=True, order=True)
+class OpInstance:
+    """A schedule op resolved to its global stage (unique per iteration)."""
+
+    kind: OpKind
+    microbatch: int
+    stage: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}{self.microbatch}@s{self.stage}"
+
+
+def resolve(schedule: PipelineSchedule, rank: int, op: ScheduleOp) -> OpInstance:
+    """Attach the global stage index to a per-rank op."""
+    return OpInstance(op.kind, op.microbatch, schedule.global_stage(rank, op.chunk))
+
+
+def dependencies(
+    schedule: PipelineSchedule, inst: OpInstance
+) -> tuple[OpInstance, ...]:
+    """Ops that must complete before ``inst`` may start."""
+    last = schedule.total_stages - 1
+    if inst.kind is OpKind.FORWARD:
+        if inst.stage == 0:
+            return ()
+        return (OpInstance(OpKind.FORWARD, inst.microbatch, inst.stage - 1),)
+    deps = [OpInstance(OpKind.FORWARD, inst.microbatch, inst.stage)]
+    if inst.stage < last:
+        deps.append(OpInstance(OpKind.BACKWARD, inst.microbatch, inst.stage + 1))
+    return tuple(deps)
+
+
+def cross_rank_dependencies(
+    schedule: PipelineSchedule, inst: OpInstance
+) -> tuple[OpInstance, ...]:
+    """The subset of dependencies that live on a *different* device and
+    therefore require point-to-point communication (the simulator charges
+    send/recv time on exactly these edges)."""
+    my_rank = inst.stage % schedule.num_stages
+    return tuple(
+        dep
+        for dep in dependencies(schedule, inst)
+        if dep.stage % schedule.num_stages != my_rank
+    )
+
+
+Handler = Callable[[int, ScheduleOp], None]
+
+
+def execute(schedule: PipelineSchedule, handler: Handler | None = None) -> list[
+    tuple[int, ScheduleOp]
+]:
+    """Run every op of ``schedule`` respecting dependencies.
+
+    Repeatedly scans the ranks round-robin, running each rank's next op
+    as soon as its dependencies are done (cooperative multitasking of
+    the virtual devices).  Returns the global completion order as
+    ``(rank, op)`` pairs, calling ``handler(rank, op)`` at each step.
+
+    Raises
+    ------
+    DeadlockError
+        If no rank can make progress but ops remain; the message lists
+        each blocked op and its first unmet dependency.
+    """
+    pointers = [0] * schedule.num_stages
+    done: set[OpInstance] = set()
+    order: list[tuple[int, ScheduleOp]] = []
+    total = sum(len(r) for r in schedule.ops)
+    while len(order) < total:
+        progressed = False
+        for rank in range(schedule.num_stages):
+            while pointers[rank] < len(schedule.ops[rank]):
+                op = schedule.ops[rank][pointers[rank]]
+                inst = resolve(schedule, rank, op)
+                if any(dep not in done for dep in dependencies(schedule, inst)):
+                    break
+                if handler is not None:
+                    handler(rank, op)
+                done.add(inst)
+                order.append((rank, op))
+                pointers[rank] += 1
+                progressed = True
+        if not progressed:
+            blocked = []
+            for rank in range(schedule.num_stages):
+                if pointers[rank] < len(schedule.ops[rank]):
+                    op = schedule.ops[rank][pointers[rank]]
+                    inst = resolve(schedule, rank, op)
+                    missing = [
+                        d for d in dependencies(schedule, inst) if d not in done
+                    ]
+                    blocked.append(f"rank {rank}: {inst} waits on {missing[0]}")
+            raise DeadlockError(
+                f"schedule {schedule.describe()} deadlocked:\n  "
+                + "\n  ".join(blocked)
+            )
+    return order
+
+
+def validate(schedule: PipelineSchedule) -> None:
+    """Raise if the schedule is incomplete or deadlocks.
+
+    Checks (a) every rank runs exactly one F and one B per
+    (microbatch, chunk) -- required for strict optimizer semantics, every
+    microbatch's gradient contributes exactly once; and (b) the
+    per-device orders admit a legal global interleaving.
+    """
+    if not schedule.counts_are_complete():
+        raise ValueError(
+            f"schedule {schedule.describe()} is incomplete: each rank must run "
+            "exactly one forward and one backward per (microbatch, chunk)"
+        )
+    execute(schedule)
+
+
+@dataclass(frozen=True)
+class TimedOp:
+    """An op with its simulated execution window."""
+
+    rank: int
+    op: ScheduleOp
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Result of :func:`simulate_times`."""
+
+    schedule: PipelineSchedule
+    ops: tuple[TimedOp, ...]
+    makespan: float
+
+    def per_rank_busy(self) -> list[float]:
+        busy = [0.0] * self.schedule.num_stages
+        for t in self.ops:
+            busy[t.rank] += t.end - t.start
+        return busy
+
+    def bubble_fraction(self) -> float:
+        """Average fraction of the makespan each device spends idle.
+
+        With zero communication latency this equals the paper's
+        ``t_pb / (t_pb + t_id)`` -- bubble over total -- per device;
+        compare with ``(p-1)/m / (1 + (p-1)/m)``.
+        """
+        busy = self.per_rank_busy()
+        idle = [self.makespan - b for b in busy]
+        return sum(idle) / (self.makespan * self.schedule.num_stages)
+
+
+def simulate_times(
+    schedule: PipelineSchedule,
+    t_forward: float = 1.0,
+    t_backward: float = 2.0,
+    p2p_latency: float = 0.0,
+) -> Timeline:
+    """List-schedule the ops with fixed durations.
+
+    ``t_forward``/``t_backward`` are the full-microbatch times ``t_f``
+    and ``t_b``; a chunk takes ``t_f / v`` (``t_b / v``) as in §2.2.2.
+    ``p2p_latency`` is added on every cross-rank dependency edge.
+    Devices execute their op list in order, starting each op as soon as
+    the device is free and all dependencies (plus transfer) are done.
+    """
+    if t_forward <= 0 or t_backward <= 0:
+        raise ValueError("durations must be positive")
+    v = schedule.num_chunks
+    dur = {
+        OpKind.FORWARD: t_forward / v,
+        OpKind.BACKWARD: t_backward / v,
+    }
+    finish: dict[OpInstance, float] = {}
+    pointers = [0] * schedule.num_stages
+    device_free = [0.0] * schedule.num_stages
+    timed: list[TimedOp] = []
+    total = sum(len(r) for r in schedule.ops)
+    while len(timed) < total:
+        progressed = False
+        for rank in range(schedule.num_stages):
+            while pointers[rank] < len(schedule.ops[rank]):
+                op = schedule.ops[rank][pointers[rank]]
+                inst = resolve(schedule, rank, op)
+                deps = dependencies(schedule, inst)
+                if any(d not in finish for d in deps):
+                    break
+                ready = device_free[rank]
+                for d in deps:
+                    lat = p2p_latency if d.stage % schedule.num_stages != rank else 0.0
+                    ready = max(ready, finish[d] + lat)
+                end = ready + dur[op.kind]
+                finish[inst] = end
+                device_free[rank] = end
+                timed.append(TimedOp(rank, op, ready, end))
+                pointers[rank] += 1
+                progressed = True
+        if not progressed:
+            raise DeadlockError(
+                f"schedule {schedule.describe()} deadlocked during timing"
+            )
+    makespan = max(t.end for t in timed)
+    return Timeline(schedule=schedule, ops=tuple(timed), makespan=makespan)
+
+
+def completion_order_is_serializable(
+    order: Iterable[tuple[int, ScheduleOp]], schedule: PipelineSchedule
+) -> bool:
+    """Check an observed completion order respects all dependencies."""
+    done: set[OpInstance] = set()
+    for rank, op in order:
+        inst = resolve(schedule, rank, op)
+        if any(d not in done for d in dependencies(schedule, inst)):
+            return False
+        done.add(inst)
+    return True

@@ -1,0 +1,202 @@
+"""Schedule generators: GPipe, PipeDream-Flush (1F1B), interleaved 1F1B.
+
+These reproduce §2.2 of the paper:
+
+- :func:`gpipe_schedule` -- all forwards then all backwards (Figure 3);
+  bubble (p-1)/m, stashes up to m microbatches of activations.
+- :func:`one_f_one_b_schedule` -- PipeDream-Flush (Figure 4 top): a
+  warm-up of p-1-rank forwards, a 1F1B steady state, and a cooldown;
+  same bubble, but at most p in-flight microbatches.
+- :func:`interleaved_schedule` -- the paper's novel contribution
+  (Figure 4 bottom): each device hosts v model chunks; the bubble
+  shrinks by v at the cost of v times more p2p communication.  Requires
+  m to be a multiple of p (§2.2.2).
+
+The interleaved order follows Megatron-LM's
+``forward_backward_pipelining_with_interleaving``: virtual microbatches
+are processed in groups of ``p`` per chunk, warm-up length is
+``2*(p - rank - 1) + (v - 1) * p``.
+"""
+
+from __future__ import annotations
+
+from .ir import OpKind, PipelineSchedule, ScheduleOp
+
+
+def gpipe_schedule(num_stages: int, num_microbatches: int) -> PipelineSchedule:
+    """All-forward, all-backward schedule (Figure 3)."""
+    _check(num_stages, num_microbatches)
+    per_rank = []
+    for _rank in range(num_stages):
+        ops = [ScheduleOp(OpKind.FORWARD, mb) for mb in range(num_microbatches)]
+        ops += [ScheduleOp(OpKind.BACKWARD, mb) for mb in range(num_microbatches)]
+        per_rank.append(tuple(ops))
+    return PipelineSchedule(
+        name="gpipe",
+        num_stages=num_stages,
+        num_microbatches=num_microbatches,
+        num_chunks=1,
+        ops=tuple(per_rank),
+    )
+
+
+def one_f_one_b_schedule(num_stages: int, num_microbatches: int) -> PipelineSchedule:
+    """PipeDream-Flush / non-interleaved 1F1B schedule (Figure 4, top)."""
+    _check(num_stages, num_microbatches)
+    p, m = num_stages, num_microbatches
+    per_rank = []
+    for rank in range(p):
+        warmup = min(p - rank - 1, m)
+        remaining = m - warmup
+        ops: list[ScheduleOp] = []
+        # Warm-up: forwards only.
+        for mb in range(warmup):
+            ops.append(ScheduleOp(OpKind.FORWARD, mb))
+        # Steady state: one forward, one backward.
+        for i in range(remaining):
+            ops.append(ScheduleOp(OpKind.FORWARD, warmup + i))
+            ops.append(ScheduleOp(OpKind.BACKWARD, i))
+        # Cooldown: drain the in-flight backwards.
+        for i in range(remaining, m):
+            ops.append(ScheduleOp(OpKind.BACKWARD, i))
+        per_rank.append(tuple(ops))
+    return PipelineSchedule(
+        name="1f1b",
+        num_stages=p,
+        num_microbatches=m,
+        num_chunks=1,
+        ops=tuple(per_rank),
+    )
+
+
+def interleaved_schedule(
+    num_stages: int, num_microbatches: int, num_chunks: int
+) -> PipelineSchedule:
+    """Interleaved 1F1B schedule (Figure 4, bottom; §2.2.2).
+
+    Each device runs ``v = num_chunks`` model chunks; virtual
+    microbatches cycle through chunks in groups of ``p``.
+    """
+    _check(num_stages, num_microbatches)
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    if num_chunks == 1:
+        return one_f_one_b_schedule(num_stages, num_microbatches)
+    p, m, v = num_stages, num_microbatches, num_chunks
+    if p < 2:
+        raise ValueError("interleaved schedule requires num_stages >= 2")
+    if m % p != 0:
+        raise ValueError(
+            f"interleaved schedule requires num_microbatches ({m}) to be a "
+            f"multiple of num_stages ({p})"
+        )
+    total = m * v  # virtual microbatches per device
+
+    def fwd_op(k: int) -> ScheduleOp:
+        chunk = (k // p) % v
+        mb = (k // (p * v)) * p + k % p
+        return ScheduleOp(OpKind.FORWARD, mb, chunk)
+
+    def bwd_op(k: int) -> ScheduleOp:
+        chunk = v - 1 - ((k // p) % v)
+        mb = (k // (p * v)) * p + k % p
+        return ScheduleOp(OpKind.BACKWARD, mb, chunk)
+
+    per_rank = []
+    for rank in range(p):
+        if m == p:
+            warmup = total
+        else:
+            warmup = min(2 * (p - rank - 1) + (v - 1) * p, total)
+        ops: list[ScheduleOp] = []
+        for k in range(warmup):
+            ops.append(fwd_op(k))
+        # Steady state: 1F1B on virtual microbatches.
+        for i in range(total - warmup):
+            ops.append(fwd_op(warmup + i))
+            ops.append(bwd_op(i))
+        # Cooldown.
+        for i in range(total - warmup, total):
+            ops.append(bwd_op(i))
+        per_rank.append(tuple(ops))
+    return PipelineSchedule(
+        name="interleaved",
+        num_stages=p,
+        num_microbatches=m,
+        num_chunks=v,
+        ops=tuple(per_rank),
+    )
+
+
+def interleaved_gpipe_schedule(
+    num_stages: int, num_microbatches: int, num_chunks: int
+) -> PipelineSchedule:
+    """All-forward, all-backward schedule over interleaved model chunks.
+
+    §2.2.2 mentions this variant before rejecting it: it has the
+    interleaved schedule's 1/v bubble but "a high memory footprint
+    (proportional to m)" -- every (microbatch, chunk) activation stays
+    stashed until the backward phase.  Implemented so the memory/bubble
+    tradeoff can be measured (see the schedule tests and ablation bench).
+    """
+    _check(num_stages, num_microbatches)
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    if num_chunks == 1:
+        return gpipe_schedule(num_stages, num_microbatches)
+    p, m, v = num_stages, num_microbatches, num_chunks
+    if p < 2:
+        raise ValueError("interleaved schedule requires num_stages >= 2")
+    if m % p != 0:
+        raise ValueError(
+            f"interleaved schedule requires num_microbatches ({m}) to be a "
+            f"multiple of num_stages ({p})"
+        )
+    total = m * v
+    per_rank = []
+    for _rank in range(p):
+        ops: list[ScheduleOp] = []
+        for k in range(total):
+            chunk = (k // p) % v
+            mb = (k // (p * v)) * p + k % p
+            ops.append(ScheduleOp(OpKind.FORWARD, mb, chunk))
+        for k in range(total):
+            chunk = v - 1 - ((k // p) % v)
+            mb = (k // (p * v)) * p + k % p
+            ops.append(ScheduleOp(OpKind.BACKWARD, mb, chunk))
+        per_rank.append(tuple(ops))
+    return PipelineSchedule(
+        name="interleaved-gpipe",
+        num_stages=p,
+        num_microbatches=m,
+        num_chunks=v,
+        ops=tuple(per_rank),
+    )
+
+
+def make_schedule(
+    name: str, num_stages: int, num_microbatches: int, num_chunks: int = 1
+) -> PipelineSchedule:
+    """Dispatch by name: 'gpipe', '1f1b', 'interleaved', or
+    'interleaved-gpipe'."""
+    if name == "gpipe":
+        if num_chunks != 1:
+            raise ValueError("gpipe schedule does not support model chunks")
+        return gpipe_schedule(num_stages, num_microbatches)
+    if name == "1f1b":
+        if num_chunks != 1:
+            raise ValueError("1f1b schedule does not support model chunks; "
+                             "use 'interleaved'")
+        return one_f_one_b_schedule(num_stages, num_microbatches)
+    if name == "interleaved":
+        return interleaved_schedule(num_stages, num_microbatches, num_chunks)
+    if name == "interleaved-gpipe":
+        return interleaved_gpipe_schedule(num_stages, num_microbatches, num_chunks)
+    raise ValueError(f"unknown schedule {name!r}")
+
+
+def _check(num_stages: int, num_microbatches: int) -> None:
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if num_microbatches < 1:
+        raise ValueError("num_microbatches must be >= 1")

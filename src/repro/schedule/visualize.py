@@ -1,0 +1,71 @@
+"""ASCII rendering of pipeline timelines (Figures 3 and 4).
+
+Renders a :class:`~repro.schedule.execution.Timeline` as a per-device
+character grid: each forward slot prints the microbatch number, each
+backward slot prints it in parentheses-free lowercase-style shading
+(backwards are wrapped in '[' ']' when width allows), idle time is '.'.
+Interleaved chunks are distinguished by a trailing quote mark, matching
+the paper's dark/light color coding.
+"""
+
+from __future__ import annotations
+
+from .execution import Timeline, simulate_times
+from .ir import OpKind, PipelineSchedule
+
+
+def render_timeline(timeline: Timeline, time_unit: float | None = None) -> str:
+    """Render a timeline as one text row per device.
+
+    ``time_unit`` is the width of one character column in time units;
+    defaults to the smallest op duration in the timeline.
+    """
+    if not timeline.ops:
+        return ""
+    if time_unit is None:
+        time_unit = min(t.end - t.start for t in timeline.ops)
+    if time_unit <= 0:
+        raise ValueError("time_unit must be positive")
+    ncols = int(round(timeline.makespan / time_unit))
+    rows = []
+    for rank in range(timeline.schedule.num_stages):
+        row = ["."] * ncols
+        for t in timeline.ops:
+            if t.rank != rank:
+                continue
+            c0 = int(round(t.start / time_unit))
+            c1 = max(c0 + 1, int(round(t.end / time_unit)))
+            label = _op_label(t.op.kind, t.op.microbatch, t.op.chunk)
+            cell = (label * ((c1 - c0) // len(label) + 1))[: c1 - c0]
+            row[c0:c1] = list(cell.ljust(c1 - c0, label[-1])[: c1 - c0])
+        rows.append(f"dev{rank}: " + "".join(row))
+    return "\n".join(rows)
+
+
+def _op_label(kind: OpKind, microbatch: int, chunk: int) -> str:
+    tag = str(microbatch + 1)
+    if kind is OpKind.BACKWARD:
+        tag = tag.translate(_SUBSCRIPTS)
+    if chunk % 2 == 1:
+        tag = tag + "'"
+    return tag
+
+
+# Backward passes rendered as subscript digits to mirror the paper's
+# blue (forward) / green (backward) color coding in plain text.
+_SUBSCRIPTS = str.maketrans("0123456789", "₀₁₂₃₄₅₆₇₈₉")
+
+
+def render_schedule(
+    schedule: PipelineSchedule,
+    t_forward: float = 1.0,
+    t_backward: float = 2.0,
+) -> str:
+    """Simulate with the figure's convention (backward = 2x forward by
+    default) and render."""
+    timeline = simulate_times(schedule, t_forward, t_backward)
+    header = (
+        f"{schedule.describe()}  makespan={timeline.makespan:g}  "
+        f"bubble={timeline.bubble_fraction():.3f}"
+    )
+    return header + "\n" + render_timeline(timeline)

@@ -1,0 +1,18 @@
+"""Discrete-event performance simulation of PTD-P and ZeRO-3 training."""
+
+from .trainer_sim import (
+    SimOptions,
+    SimulationResult,
+    render_simulated_timeline,
+    simulate_iteration,
+)
+from .zero_sim import ZeroSimResult, simulate_zero3_iteration
+
+__all__ = [
+    "SimOptions",
+    "SimulationResult",
+    "simulate_iteration",
+    "render_simulated_timeline",
+    "ZeroSimResult",
+    "simulate_zero3_iteration",
+]

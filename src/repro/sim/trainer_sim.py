@@ -1,0 +1,333 @@
+"""Discrete-event simulation of one PTD-P training iteration.
+
+Executes a pipeline schedule over a modelled cluster:
+
+- **compute**: each (stage, microbatch) forward/backward is priced by
+  the roofline kernel model (:mod:`repro.perf.layer_costs`), including
+  the tensor-parallel all-reduce time serialized inside each layer
+  (2 per layer per direction, §2.3; recomputation repeats the forward
+  ones);
+- **pipeline p2p**: every cross-device dependency edge of the schedule
+  pays the stage-boundary transfer (``b s h`` at fp16), optionally with
+  the §4.1 scatter/gather optimization;
+- **data parallelism**: one gradient ring all-reduce per iteration over
+  the data-parallel group, after the pipeline flush, plus the tied
+  embedding all-reduce between first and last stages;
+- **optimizer**: a memory-bound pass over the rank's model state.
+
+List scheduling is exact for this system: per-device op order is fixed
+by the schedule, so each op starts at max(device free, dependencies
+done + transfer time).
+
+The simulated timeline yields iteration time, from which the paper's
+metrics follow: achieved Tflop/s per GPU (eq. (3) FLOPs / n / time),
+sequences per second, and the compute/bubble/communication breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm import CommCostModel, ProcessGroups
+from repro.config import GPTConfig, ParallelConfig
+from repro.hardware import (
+    ClusterTopology,
+    ComputeModel,
+    NodeSpec,
+    cluster_for_gpus,
+    dgx_a100,
+)
+from repro.perf.layer_costs import stage_compute_cost
+from repro.perf.memory import MODEL_STATE_BYTES_PER_PARAM, parameters_per_rank
+from repro.schedule import (
+    OpKind,
+    PipelineSchedule,
+    dependencies,
+    make_schedule,
+    resolve,
+)
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Simulation switches (the paper's implementation options)."""
+
+    schedule_name: str = "1f1b"
+    fused_kernels: bool = True
+    recompute_activations: bool = True
+    scatter_gather: bool = True
+    grad_dtype_size: int = 2  # fp16 gradient all-reduce
+    activation_dtype_size: int = 2
+    overlap_p2p: bool = False  # paper: sends/recvs in parallel w/ compute
+    tp_channels: int = 2  # NCCL channels for per-layer TP collectives
+    collect_timeline: bool = False  # keep per-op (start, end) windows
+
+
+@dataclass
+class SimulationResult:
+    """Timing and throughput of one training iteration."""
+
+    iteration_time: float
+    pipeline_time: float
+    data_parallel_time: float
+    optimizer_time: float
+    compute_time_per_rank: list[float]
+    p2p_time_total: float
+    tp_comm_time_total: float
+    model_flops: int
+    num_gpus: int
+    global_batch_size: int
+    seq_length: int
+    peak_flops: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def tflops_per_gpu(self) -> float:
+        """Achieved model Tflop/s per GPU (the paper's Table-1 metric)."""
+        return self.model_flops / self.num_gpus / self.iteration_time / 1e12
+
+    @property
+    def peak_fraction(self) -> float:
+        return self.tflops_per_gpu * 1e12 / self.peak_flops
+
+    @property
+    def aggregate_pflops(self) -> float:
+        return self.tflops_per_gpu * self.num_gpus / 1e3
+
+    @property
+    def sequences_per_second(self) -> float:
+        return self.global_batch_size / self.iteration_time
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.sequences_per_second * self.seq_length
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Mean idle fraction of the pipeline phase across ranks."""
+        if self.pipeline_time == 0:
+            return 0.0
+        busy = sum(self.compute_time_per_rank) / len(self.compute_time_per_rank)
+        return max(0.0, 1.0 - busy / self.pipeline_time)
+
+
+def simulate_iteration(
+    config: GPTConfig,
+    parallel: ParallelConfig,
+    *,
+    options: SimOptions | None = None,
+    node: NodeSpec | None = None,
+    topology: ClusterTopology | None = None,
+) -> SimulationResult:
+    """Simulate one training iteration of ``config`` under ``parallel``."""
+    options = options or SimOptions()
+    node = node or dgx_a100()
+    parallel.validate_for_model(config)
+    n = parallel.world_size
+    topo = topology or cluster_for_gpus(max(n, 1), node)
+    compute = ComputeModel(device=node.device)
+    comm = CommCostModel(topo)
+    groups = ProcessGroups(parallel)
+
+    p, t, d, v = parallel.p, parallel.t, parallel.d, parallel.v
+    m = parallel.num_microbatches
+    b, s, h = parallel.b, config.seq_length, config.hidden_size
+    schedule = make_schedule(options.schedule_name, p, m, v)
+
+    # -- per-stage compute + TP-collective durations -----------------------
+    layers_per_stage = config.num_layers // (p * v)
+    tp_ranks = groups.tensor_group(pp=0, dp=0)
+    boundary_bytes = b * s * h * options.activation_dtype_size
+    tp_ar_bytes = boundary_bytes  # each of the 2 per-layer all-reduces
+    # Per-layer TP collectives are latency-bound and run on few NCCL
+    # channels when the group spans nodes -- they cannot saturate the
+    # node's 8 HCAs the way the fused DP gradient buffer does.
+    tp_ar_time = (
+        comm.all_reduce_time(tp_ranks, tp_ar_bytes, channels=options.tp_channels)
+        if t > 1
+        else 0.0
+    )
+
+    fwd_dur: dict[int, float] = {}
+    bwd_dur: dict[int, float] = {}
+    fwd_tp: dict[int, float] = {}
+    bwd_tp: dict[int, float] = {}
+    total_stages = p * v
+    for g in range(total_stages):
+        cost = stage_compute_cost(
+            compute,
+            config,
+            layers_per_stage,
+            b,
+            t,
+            is_first=(g == 0),
+            is_last=(g == total_stages - 1),
+            fused=options.fused_kernels,
+            recompute=options.recompute_activations,
+        )
+        f_tp = 2 * layers_per_stage * tp_ar_time
+        bwd_ars = 2 + (2 if options.recompute_activations else 0)
+        b_tp = bwd_ars * layers_per_stage * tp_ar_time
+        fwd_dur[g] = cost.forward + f_tp
+        bwd_dur[g] = cost.backward + b_tp
+        fwd_tp[g] = f_tp
+        bwd_tp[g] = b_tp
+
+    # -- pipeline ranks (dp=0, tp=0 representative pipeline) ---------------
+    pipe_ranks = groups.pipeline_group(dp=0, tp=0)
+
+    def stage_rank(stage: int) -> int:
+        return pipe_ranks[stage % p]
+
+    def edge_time(src_stage: int, dst_stage: int) -> float:
+        src, dst = stage_rank(src_stage), stage_rank(dst_stage)
+        if src == dst:
+            return 0.0
+        return comm.pipeline_p2p_time(
+            src, dst, boundary_bytes, t, scatter_gather=options.scatter_gather
+        )
+
+    # Transfers occupy both endpoints (synchronous, non-overlapped p2p,
+    # as in Megatron's interleaved schedule): the producing op's
+    # duration grows by its send and the consuming op's by its receive.
+    # The §4.1 scatter/gather optimization shrinks exactly these terms
+    # on inter-node hops.
+    send_fwd = {
+        g: edge_time(g, g + 1) if g + 1 < total_stages else 0.0
+        for g in range(total_stages)
+    }
+    send_bwd = {
+        g: edge_time(g, g - 1) if g > 0 else 0.0
+        for g in range(total_stages)
+    }
+    recv_fwd = {
+        g: edge_time(g - 1, g) if g > 0 else 0.0 for g in range(total_stages)
+    }
+    recv_bwd = {
+        g: edge_time(g + 1, g) if g + 1 < total_stages else 0.0
+        for g in range(total_stages)
+    }
+    if options.overlap_p2p:
+        send_fwd = {g: 0.0 for g in send_fwd}
+        send_bwd = {g: 0.0 for g in send_bwd}
+        recv_fwd = {g: 0.0 for g in recv_fwd}
+        recv_bwd = {g: 0.0 for g in recv_bwd}
+
+    # -- list-schedule the ops ---------------------------------------------
+    finish: dict = {}
+    pointers = [0] * p
+    device_free = [0.0] * p
+    busy = [0.0] * p
+    p2p_total = 0.0
+    timeline: list | None = [] if options.collect_timeline else None
+    total_ops = sum(len(r) for r in schedule.ops)
+    done_ops = 0
+    while done_ops < total_ops:
+        progressed = False
+        for rank in range(p):
+            while pointers[rank] < len(schedule.ops[rank]):
+                op = schedule.ops[rank][pointers[rank]]
+                inst = resolve(schedule, rank, op)
+                deps = dependencies(schedule, inst)
+                if any(dp_ not in finish for dp_ in deps):
+                    break
+                ready = device_free[rank]
+                for dep in deps:
+                    ready = max(ready, finish[dep])
+                if op.kind is OpKind.FORWARD:
+                    comm_dur = recv_fwd[inst.stage] + send_fwd[inst.stage]
+                    dur = fwd_dur[inst.stage] + comm_dur
+                else:
+                    comm_dur = recv_bwd[inst.stage] + send_bwd[inst.stage]
+                    dur = bwd_dur[inst.stage] + comm_dur
+                p2p_total += comm_dur
+                end = ready + dur
+                finish[inst] = end
+                device_free[rank] = end
+                busy[rank] += dur
+                if timeline is not None:
+                    from repro.schedule.execution import TimedOp
+
+                    timeline.append(TimedOp(rank, op, ready, end))
+                pointers[rank] += 1
+                done_ops += 1
+                progressed = True
+        if not progressed:  # pragma: no cover - schedules are validated
+            raise RuntimeError("simulation deadlocked")
+    pipeline_time = max(device_free)
+
+    # -- data-parallel gradient all-reduce + embedding sync -----------------
+    params_rank = parameters_per_rank(config, parallel)
+    dp_time = 0.0
+    if d > 1:
+        dp_ranks = groups.data_group(pp=0, tp=0)
+        dp_time = comm.all_reduce_time(
+            dp_ranks, params_rank * options.grad_dtype_size
+        )
+    embed_time = 0.0
+    if p > 1:
+        emb_bytes = (
+            config.vocab_size // t * h * options.grad_dtype_size
+        )
+        embed_time = comm.all_reduce_time(
+            [pipe_ranks[0], pipe_ranks[-1]], emb_bytes
+        )
+
+    # -- optimizer step: memory-bound pass over the model state -------------
+    opt_time = compute.memory_time(params_rank * MODEL_STATE_BYTES_PER_PARAM)
+
+    tp_comm_total = sum(
+        m * (fwd_tp[g] + bwd_tp[g]) for g in range(total_stages)
+    )
+    iteration_time = pipeline_time + dp_time + embed_time + opt_time
+    model_flops = config.flops_per_iteration(
+        parallel.global_batch_size,
+        with_recompute=options.recompute_activations,
+    )
+    return SimulationResult(
+        iteration_time=iteration_time,
+        pipeline_time=pipeline_time,
+        data_parallel_time=dp_time + embed_time,
+        optimizer_time=opt_time,
+        compute_time_per_rank=busy,
+        p2p_time_total=p2p_total,
+        tp_comm_time_total=tp_comm_total,
+        model_flops=model_flops,
+        num_gpus=n,
+        global_batch_size=parallel.global_batch_size,
+        seq_length=s,
+        peak_flops=node.device.peak_flops,
+        extras={
+            "schedule": options.schedule_name,
+            "m": m,
+            "layers_per_stage": layers_per_stage,
+            "timeline": tuple(timeline) if timeline is not None else None,
+            "pipeline_schedule": schedule,
+        },
+    )
+
+
+def render_simulated_timeline(result: SimulationResult) -> str:
+    """ASCII timeline of a simulation run with ``collect_timeline=True``.
+
+    Unlike the unit-time Figure 3/4 renders, this shows *modelled*
+    durations: backward boxes are visibly longer than forward ones, p2p
+    time stretches the boxes, and the warm-up/cool-down bubble appears
+    to scale.
+    """
+    from repro.schedule.execution import Timeline
+    from repro.schedule.visualize import render_timeline
+
+    ops = result.extras.get("timeline")
+    schedule = result.extras.get("pipeline_schedule")
+    if not ops or schedule is None:
+        raise ValueError(
+            "simulation was not run with SimOptions(collect_timeline=True)"
+        )
+    tl = Timeline(schedule=schedule, ops=tuple(ops),
+                  makespan=max(t.end for t in ops))
+    header = (
+        f"simulated timeline: makespan={tl.makespan:.3f}s  "
+        f"bubble={tl.bubble_fraction():.3f}"
+    )
+    return header + "\n" + render_timeline(tl)

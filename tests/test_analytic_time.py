@@ -1,0 +1,125 @@
+"""Analytic closed-form estimator vs the discrete-event simulator.
+
+DESIGN.md §4's fourth correctness leg: the O(1) closed form built from
+the paper's §3 analysis must agree with the event simulation across
+configurations -- validating both against each other.
+"""
+
+import pytest
+
+from repro.config import (
+    ParallelConfig,
+    TABLE1_ROWS,
+    fig13_model,
+    fig14_model,
+    gpt3_175b,
+)
+from repro.perf import estimate_iteration
+from repro.sim import SimOptions, simulate_iteration
+
+
+class TestAgreementWithSimulator:
+    @pytest.mark.parametrize("row", TABLE1_ROWS[::2], ids=lambda r: r.model.name)
+    def test_table1_configs_within_5pct(self, row):
+        a = estimate_iteration(row.model, row.parallel)
+        s = simulate_iteration(row.model, row.parallel)
+        assert a.tflops_per_gpu == pytest.approx(s.tflops_per_gpu, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "p,t,d,B",
+        [(12, 8, 1, 24), (8, 8, 1, 64), (4, 2, 8, 64), (2, 1, 4, 32)],
+    )
+    def test_mixed_configs_within_5pct(self, p, t, d, B):
+        model = gpt3_175b() if t == 8 else fig14_model()
+        par = ParallelConfig(
+            pipeline_parallel_size=p, tensor_parallel_size=t,
+            data_parallel_size=d, microbatch_size=1, global_batch_size=B,
+        )
+        a = estimate_iteration(model, par)
+        s = simulate_iteration(model, par)
+        assert a.iteration_time == pytest.approx(s.iteration_time, rel=0.05)
+
+    def test_interleaved_within_10pct(self):
+        par = ParallelConfig(
+            pipeline_parallel_size=12, tensor_parallel_size=8,
+            data_parallel_size=1, microbatch_size=1, global_batch_size=24,
+            num_model_chunks=2,
+        )
+        a = estimate_iteration(gpt3_175b(), par)
+        s = simulate_iteration(
+            gpt3_175b(), par, options=SimOptions(schedule_name="interleaved")
+        )
+        assert a.tflops_per_gpu == pytest.approx(s.tflops_per_gpu, rel=0.10)
+
+
+class TestStructure:
+    def test_bubble_fraction_formula(self):
+        """bubble_time / (pipeline - bubble) == (p-1)/(m v)."""
+        par = ParallelConfig(
+            pipeline_parallel_size=8, tensor_parallel_size=8,
+            data_parallel_size=1, microbatch_size=1, global_batch_size=32,
+        )
+        a = estimate_iteration(fig13_model(), par)
+        ideal = a.pipeline_time - a.bubble_time
+        assert a.bubble_time / ideal == pytest.approx(7 / 32)
+
+    def test_scatter_gather_reduces_time(self):
+        par = ParallelConfig(
+            pipeline_parallel_size=12, tensor_parallel_size=8,
+            data_parallel_size=1, microbatch_size=1, global_batch_size=24,
+        )
+        on = estimate_iteration(gpt3_175b(), par, scatter_gather=True)
+        off = estimate_iteration(gpt3_175b(), par, scatter_gather=False)
+        assert on.iteration_time < off.iteration_time
+
+    def test_estimator_is_fast(self):
+        """O(1): estimating a 3072-GPU config must not iterate m * p."""
+        import time
+
+        row = TABLE1_ROWS[-1]
+        t0 = time.perf_counter()
+        estimate_iteration(row.model, row.parallel)
+        assert time.perf_counter() - t0 < 0.1
+
+
+class TestSequenceParallelMemory:
+    """The §3.5 activation-partitioning extension in the memory model."""
+
+    def test_reduces_activation_footprint(self):
+        from repro.perf import memory_footprint
+
+        par = ParallelConfig(
+            pipeline_parallel_size=12, tensor_parallel_size=8,
+            data_parallel_size=1, microbatch_size=1, global_batch_size=48,
+        )
+        plain = memory_footprint(gpt3_175b(), par, recompute=False)
+        seq = memory_footprint(
+            gpt3_175b(), par, recompute=False, sequence_parallel=True
+        )
+        assert seq.activations < plain.activations
+        assert seq.model_state == plain.model_state
+
+    def test_noop_at_t1(self):
+        from repro.perf import activation_bytes_per_layer
+
+        assert activation_bytes_per_layer(
+            1, 128, 256, 8, 1, sequence_parallel=True
+        ) == activation_bytes_per_layer(1, 128, 256, 8, 1)
+
+    def test_enables_larger_batches(self):
+        """Sequence parallelism should admit configs that otherwise OOM."""
+        from repro.config import fig17_model
+        from repro.hardware import a100_80gb
+        from repro.perf import fits_in_memory
+
+        # m = 12 in-flight microbatches: plain activations overflow the
+        # 80 GB device, sequence-parallel ones fit.
+        par = ParallelConfig(
+            pipeline_parallel_size=16, tensor_parallel_size=8,
+            data_parallel_size=1, microbatch_size=2, global_batch_size=24,
+        )
+        dev = a100_80gb()
+        assert not fits_in_memory(fig17_model(), par, dev, recompute=False)
+        assert fits_in_memory(
+            fig17_model(), par, dev, recompute=False, sequence_parallel=True
+        )

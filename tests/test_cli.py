@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+MODEL = ["--layers", "4", "--hidden", "256", "--heads", "8",
+         "--vocab", "1024", "--seq", "128"]
+
+
+class TestSimulate:
+    def test_basic(self, capsys):
+        rc = main(["simulate", *MODEL, "-p", "2", "--batch", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Tflop/s" in out and "bubble" in out
+
+    def test_interleaved(self, capsys):
+        rc = main([
+            "simulate", *MODEL, "-p", "2", "--batch", "8",
+            "--chunks", "2", "--schedule", "interleaved",
+        ])
+        assert rc == 0
+
+    def test_flags(self, capsys):
+        rc = main([
+            "simulate", *MODEL, "--batch", "8", "--no-recompute",
+            "--no-fusion", "--no-scatter-gather",
+        ])
+        assert rc == 0
+
+    def test_invalid_config_reports_error(self, capsys):
+        rc = main(["simulate", *MODEL, "-p", "3", "--batch", "8"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSuggest:
+    def test_basic(self, capsys):
+        rc = main(["suggest", *MODEL, "--gpus", "8", "--batch", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "suggested" in out and "fits=True" in out
+
+
+class TestAutotune:
+    def test_basic(self, capsys):
+        rc = main(["autotune", *MODEL, "--gpus", "4", "--batch", "8",
+                   "--top", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1." in out and "2." in out
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("name", ["gpipe", "1f1b", "interleaved",
+                                      "interleaved-gpipe"])
+    def test_renders(self, name, capsys):
+        rc = main(["schedule", name, "-p", "2", "-m", "4", "--chunks", "2"])
+        assert rc == 0
+        assert "dev0" in capsys.readouterr().out
+
+    def test_invalid_schedule_params(self, capsys):
+        rc = main(["schedule", "interleaved", "-p", "4", "-m", "6"])
+        assert rc == 2
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,377 @@
+"""Tests for collectives (numerics + byte volumes), groups, cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    CommCostModel,
+    ProcessGroups,
+    TrafficKind,
+    TrafficLog,
+    all_gather,
+    broadcast,
+    reduce_scatter,
+    ring_all_reduce,
+    send,
+)
+from repro.config import ParallelConfig
+from repro.hardware import ClusterTopology
+
+
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestRingAllReduce:
+    def test_exact_sum(self):
+        r = rng()
+        bufs = [r.standard_normal((5, 7)) for _ in range(4)]
+        out = ring_all_reduce(bufs, ranks=[0, 1, 2, 3])
+        want = np.sum(bufs, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, want, rtol=1e-12)
+
+    def test_single_rank_identity(self):
+        b = rng().standard_normal(6)
+        (out,) = ring_all_reduce([b], ranks=[3])
+        np.testing.assert_array_equal(out, b)
+
+    def test_byte_volume_is_2_k_minus_1_over_k(self):
+        """Ring all-reduce sends 2(k-1)/k of the buffer per rank."""
+        k, n = 4, 1024
+        log = TrafficLog()
+        bufs = [np.zeros(n) for _ in range(k)]
+        ring_all_reduce(bufs, ranks=list(range(k)), log=log)
+        per_rank = log.bytes_sent_by_rank()
+        expected = 2 * (k - 1) / k * n * 8  # float64 internal ring
+        for rank_bytes in per_rank.values():
+            assert rank_bytes == pytest.approx(expected, rel=0.01)
+
+    @given(k=st.integers(2, 8), n=st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_property(self, k, n):
+        r = np.random.default_rng(k * 1000 + n)
+        bufs = [r.standard_normal(n) for _ in range(k)]
+        out = ring_all_reduce(bufs, ranks=list(range(10, 10 + k)))
+        want = np.sum(bufs, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, want, rtol=1e-10, atol=1e-12)
+
+    def test_rejects_mismatched_group(self):
+        with pytest.raises(ValueError, match="must match"):
+            ring_all_reduce([np.zeros(3)], ranks=[0, 1])
+        with pytest.raises(ValueError, match="duplicate"):
+            ring_all_reduce([np.zeros(3), np.zeros(3)], ranks=[0, 0])
+        with pytest.raises(ValueError, match="shape"):
+            ring_all_reduce([np.zeros(3), np.zeros(4)], ranks=[0, 1])
+
+
+class TestAllGatherReduceScatter:
+    def test_all_gather_concatenates_in_rank_order(self):
+        shards = [np.full((2, 3), i, dtype=float) for i in range(3)]
+        out = all_gather(shards, ranks=[5, 6, 7])
+        want = np.concatenate(shards, axis=0)
+        for o in out:
+            np.testing.assert_array_equal(o, want)
+
+    def test_all_gather_axis(self):
+        shards = [np.full((2, 1), i, dtype=float) for i in range(3)]
+        out = all_gather(shards, ranks=[0, 1, 2], axis=1)
+        assert out[0].shape == (2, 3)
+
+    def test_all_gather_bytes(self):
+        k, n = 4, 100
+        log = TrafficLog()
+        shards = [np.zeros(n) for _ in range(k)]
+        all_gather(shards, ranks=list(range(k)), log=log)
+        # Each rank forwards k-1 shards of n*8 bytes.
+        per_rank = log.bytes_sent_by_rank()
+        for v in per_rank.values():
+            assert v == (k - 1) * n * 8
+
+    def test_reduce_scatter_sums_and_splits(self):
+        r = rng()
+        bufs = [r.standard_normal((4, 3)) for _ in range(2)]
+        out = reduce_scatter(bufs, ranks=[0, 1])
+        want = np.sum(bufs, axis=0)
+        np.testing.assert_allclose(out[0], want[:2], rtol=1e-12)
+        np.testing.assert_allclose(out[1], want[2:], rtol=1e-12)
+
+    def test_reduce_scatter_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            reduce_scatter([np.zeros((3, 2))] * 2, ranks=[0, 1])
+
+    def test_allreduce_equals_rs_plus_ag(self):
+        """all_reduce == reduce_scatter -> all_gather (ZeRO's identity)."""
+        r = rng()
+        bufs = [r.standard_normal((6, 2)) for _ in range(3)]
+        ar = ring_all_reduce(bufs, ranks=[0, 1, 2])
+        shards = reduce_scatter(bufs, ranks=[0, 1, 2])
+        ag = all_gather(shards, ranks=[0, 1, 2])
+        np.testing.assert_allclose(ag[0], ar[0], rtol=1e-12)
+
+
+class TestBroadcastSend:
+    def test_broadcast(self):
+        b = rng().standard_normal(5)
+        out = broadcast(b, root=2, ranks=[1, 2, 3])
+        for o in out:
+            np.testing.assert_array_equal(o, b)
+
+    def test_broadcast_requires_root_in_group(self):
+        with pytest.raises(ValueError, match="root"):
+            broadcast(np.zeros(2), root=9, ranks=[0, 1])
+
+    def test_send_copies_and_logs(self):
+        log = TrafficLog()
+        b = rng().standard_normal((4, 4))
+        got = send(b, src=0, dst=8, log=log, tag="act")
+        np.testing.assert_array_equal(got, b)
+        got[0, 0] = 99  # must be a copy
+        assert b[0, 0] != 99
+        assert log.total_bytes() == b.nbytes
+        assert log.records[0].kind is TrafficKind.PIPELINE_P2P
+
+    def test_send_rejects_self(self):
+        with pytest.raises(ValueError):
+            send(np.zeros(2), src=1, dst=1)
+
+
+class TestTrafficLog:
+    def test_node_classification(self):
+        topo = ClusterTopology(num_nodes=2)
+        log = TrafficLog()
+        log.add(0, 1, 100)   # same node
+        log.add(0, 8, 200)   # cross node
+        assert log.intra_node_bytes(topo) == 100
+        assert log.inter_node_bytes(topo) == 200
+        assert log.bisection_bytes(topo) == 200
+
+    def test_kind_filter(self):
+        log = TrafficLog()
+        log.add(0, 1, 10, TrafficKind.TENSOR_PARALLEL)
+        log.add(0, 1, 20, TrafficKind.DATA_PARALLEL)
+        assert log.total_bytes(TrafficKind.TENSOR_PARALLEL) == 10
+        assert log.total_bytes() == 30
+
+    def test_clear(self):
+        log = TrafficLog()
+        log.add(0, 1, 10)
+        log.clear()
+        assert len(log) == 0
+
+
+class TestProcessGroups:
+    def cfg(self, p=2, t=4, d=2):
+        return ParallelConfig(
+            pipeline_parallel_size=p,
+            tensor_parallel_size=t,
+            data_parallel_size=d,
+            microbatch_size=1,
+            global_batch_size=d * 4,
+        )
+
+    def test_rank_layout_tensor_contiguous(self):
+        """Tensor-parallel ranks are consecutive (land on one node)."""
+        g = ProcessGroups(self.cfg())
+        assert g.tensor_group(pp=0, dp=0) == [0, 1, 2, 3]
+        assert g.tensor_group(pp=0, dp=1) == [4, 5, 6, 7]
+        assert g.tensor_group(pp=1, dp=0) == [8, 9, 10, 11]
+
+    def test_data_group_stride_t(self):
+        g = ProcessGroups(self.cfg())
+        assert g.data_group(pp=0, tp=0) == [0, 4]
+        assert g.data_group(pp=1, tp=3) == [11, 15]
+
+    def test_pipeline_group_stride_td(self):
+        g = ProcessGroups(self.cfg())
+        assert g.pipeline_group(dp=0, tp=0) == [0, 8]
+        assert g.pipeline_group(dp=1, tp=2) == [6, 14]
+
+    def test_coord_roundtrip(self):
+        g = ProcessGroups(self.cfg())
+        for rank in range(g.world_size):
+            c = g.coord_of(rank)
+            assert g.rank_of(c.pp, c.dp, c.tp) == rank
+
+    def test_groups_partition_world(self):
+        g = ProcessGroups(self.cfg())
+        for groups in (g.all_tensor_groups(), g.all_data_groups(), g.all_pipeline_groups()):
+            flat = sorted(r for grp in groups for r in grp)
+            assert flat == list(range(g.world_size))
+
+    def test_pipeline_peer(self):
+        g = ProcessGroups(self.cfg())
+        assert g.pipeline_peer(0, +1) == 8
+        assert g.pipeline_peer(8, -1) == 0
+        assert g.pipeline_peer(8, +1) is None
+        assert g.pipeline_peer(0, -1) is None
+
+    def test_tensor_group_fits_one_node_with_t8(self):
+        """Megatron layout + 8-GPU nodes: t=8 groups are intra-node."""
+        cfg = ParallelConfig(
+            pipeline_parallel_size=2,
+            tensor_parallel_size=8,
+            data_parallel_size=2,
+            microbatch_size=1,
+            global_batch_size=8,
+        )
+        g = ProcessGroups(cfg)
+        topo = ClusterTopology(num_nodes=4)
+        for grp in g.all_tensor_groups():
+            nodes = {topo.node_of(r) for r in grp}
+            assert len(nodes) == 1
+
+    @given(p=st.integers(1, 4), t=st.integers(1, 4), d=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_property(self, p, t, d):
+        cfg = ParallelConfig(
+            pipeline_parallel_size=p,
+            tensor_parallel_size=t,
+            data_parallel_size=d,
+            microbatch_size=1,
+            global_batch_size=d,
+        )
+        g = ProcessGroups(cfg)
+        flat = sorted(r for grp in g.all_data_groups() for r in grp)
+        assert flat == list(range(p * t * d))
+
+
+class TestCommCostModel:
+    def setup_method(self):
+        self.topo = ClusterTopology(num_nodes=4)
+        self.cm = CommCostModel(self.topo)
+
+    def test_p2p_nvlink_faster_than_ib(self):
+        nbytes = 1e8
+        assert self.cm.p2p_time(0, 1, nbytes) < self.cm.p2p_time(0, 8, nbytes)
+
+    def test_p2p_self_is_free(self):
+        assert self.cm.p2p_time(3, 3, 1e9) == 0.0
+
+    def test_allreduce_intra_node_uses_nvlink(self):
+        """t=8 intra-node all-reduce beats d=8 cross-node all-reduce."""
+        intra = self.cm.all_reduce_time(list(range(8)), 1e8)
+        cross = self.cm.all_reduce_time([0, 8, 16, 24, 1, 9, 17, 25], 1e8)
+        assert intra < cross
+
+    def test_allreduce_bandwidth_term_saturates(self):
+        """(k-1)/k scaling: time grows sublinearly with group size."""
+        t2 = self.cm.all_reduce_time([0, 8], 1e9)
+        t4 = self.cm.all_reduce_time([0, 8, 16, 24], 1e9)
+        assert t4 < 2 * t2
+
+    def test_single_rank_collectives_free(self):
+        assert self.cm.all_reduce_time([0], 1e9) == 0.0
+        assert self.cm.all_gather_time([0], 1e9) == 0.0
+
+    def test_scatter_gather_reduces_internode_time(self):
+        """§4.1: inter-node pipeline p2p is ~t x cheaper with the
+        optimization (NVLink gather is much faster than IB)."""
+        nbytes = 8 * 2048 * 20480 * 2  # b=8 microbatch boundary tensor
+        plain = self.cm.pipeline_p2p_time(0, 8, nbytes, tensor_parallel_size=8)
+        opt = self.cm.pipeline_p2p_time(
+            0, 8, nbytes, tensor_parallel_size=8, scatter_gather=True
+        )
+        assert opt < plain
+        assert opt < plain / 3  # big win, close to the t=8 ideal
+
+    def test_scatter_gather_noop_intra_node(self):
+        nbytes = 1e7
+        plain = self.cm.pipeline_p2p_time(0, 1, nbytes, tensor_parallel_size=8)
+        opt = self.cm.pipeline_p2p_time(
+            0, 1, nbytes, tensor_parallel_size=8, scatter_gather=True
+        )
+        assert opt == plain
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            self.cm.p2p_time(0, 1, -5)
+        with pytest.raises(ValueError):
+            self.cm.all_reduce_time([], 10)
+        with pytest.raises(ValueError):
+            self.cm.all_reduce_time([0, 0], 10)
+        with pytest.raises(ValueError):
+            self.cm.pipeline_p2p_time(0, 1, 10, tensor_parallel_size=0)
+
+
+class TestExtraCollectives:
+    def test_gather_concatenates(self):
+        from repro.comm import gather
+
+        shards = [np.full((2,), i, dtype=float) for i in range(3)]
+        log = TrafficLog()
+        full = gather(shards, root=1, ranks=[0, 1, 2], log=log)
+        np.testing.assert_array_equal(full, [0, 0, 1, 1, 2, 2])
+        # root receives from the 2 non-root ranks.
+        assert len(log) == 2
+        assert all(r.dst == 1 for r in log.records)
+
+    def test_gather_validates_root(self):
+        from repro.comm import gather
+
+        with pytest.raises(ValueError, match="root"):
+            gather([np.zeros(2)], root=9, ranks=[0])
+
+    def test_scatter_splits(self):
+        from repro.comm import scatter
+
+        full = np.arange(6, dtype=float)
+        log = TrafficLog()
+        out = scatter(full, root=0, ranks=[0, 1, 2], log=log)
+        np.testing.assert_array_equal(out[2], [4, 5])
+        assert all(r.src == 0 for r in log.records)
+        out[0][0] = 99  # copies, not views
+        assert full[0] == 0
+
+    def test_scatter_divisibility(self):
+        from repro.comm import scatter
+
+        with pytest.raises(ValueError, match="divisible"):
+            scatter(np.zeros(5), root=0, ranks=[0, 1])
+
+    def test_all_to_all_transpose(self):
+        from repro.comm import all_to_all
+
+        k = 3
+        chunks = [[np.array([i * 10 + j]) for j in range(k)] for i in range(k)]
+        log = TrafficLog()
+        out = all_to_all(chunks, ranks=[0, 1, 2], log=log)
+        for i in range(k):
+            for j in range(k):
+                np.testing.assert_array_equal(out[j][i], chunks[i][j])
+        # k*(k-1) off-diagonal transfers.
+        assert len(log) == k * (k - 1)
+
+    def test_all_to_all_validates(self):
+        from repro.comm import all_to_all
+
+        with pytest.raises(ValueError):
+            all_to_all([[np.zeros(1)]], ranks=[0, 1])
+        with pytest.raises(ValueError):
+            all_to_all([[np.zeros(1)], [np.zeros(1)]], ranks=[0, 1])
+
+    def test_barrier_logs_token_ring(self):
+        from repro.comm import barrier
+
+        log = TrafficLog()
+        barrier([0, 1, 2], log=log)
+        assert len(log) == 3
+        assert log.total_bytes() == 0
+        barrier([5], log=log)  # single-rank barrier is silent
+        assert len(log) == 3
+
+    def test_all_to_all_equals_gather_scatter_composition(self):
+        """all_to_all == every rank scattering + every rank gathering."""
+        from repro.comm import all_to_all
+
+        r = np.random.default_rng(0)
+        k = 4
+        chunks = [[r.standard_normal(3) for _ in range(k)] for _ in range(k)]
+        out = all_to_all(chunks, ranks=list(range(k)))
+        for j in range(k):
+            got = np.concatenate(out[j])
+            want = np.concatenate([chunks[i][j] for i in range(k)])
+            np.testing.assert_array_equal(got, want)

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "exactly equivalent" in out
+
+    def test_capacity_planner(self):
+        out = run_example("capacity_planner.py", "18", "256", "1024")
+        assert "fits=True" in out and "days" in out
+
+    def test_schedule_explorer(self):
+        out = run_example("schedule_explorer.py", "4", "8", "2")
+        assert "GPipe" in out and "Interleaved" in out and "dev0" in out
+
+    def test_schedule_explorer_skips_invalid_interleave(self):
+        out = run_example("schedule_explorer.py", "4", "6", "2")
+        assert "skipped" in out
+
+    def test_zero3_vs_ptdp(self):
+        out = run_example("zero3_vs_ptdp.py")
+        assert "PTD-P advantage" in out
+
+    def test_trillion_param_plan(self):
+        out = run_example("trillion_param_plan.py")
+        assert "502" in out and "84 days" in out
+
+    @pytest.mark.slow
+    def test_end_to_end_training(self):
+        out = run_example("end_to_end_training.py", timeout=600)
+        assert "bit-exact" in out
+
+    def test_language_modeling(self):
+        out = run_example("language_modeling.py")
+        assert "perplexity after training" in out and "continuation" in out

@@ -1,0 +1,133 @@
+"""Tests for the Switch-MoE extension and expert parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.comm import TrafficLog
+from repro.parallel import (
+    ExpertParallelGroup,
+    ExpertParallelSwitchMLP,
+    SwitchMLP,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def make(num_experts=4, h=8, ffn=16, seed=1):
+    return SwitchMLP(h, ffn, num_experts, rng=rng(seed))
+
+
+class TestSwitchMLP:
+    def test_forward_shape(self):
+        m = make()
+        x = rng(2).standard_normal((3, 5, 8))
+        y, (cache, aux) = m.forward(x)
+        assert y.shape == x.shape
+        assert aux > 0
+
+    def test_every_token_routed_once(self):
+        m = make()
+        x = rng(2).standard_normal((40, 8))
+        _, (cache, _) = m.forward(x)
+        _, _, chosen, _, _, token_idx, _ = cache
+        covered = np.concatenate([i for i in token_idx if i is not None])
+        assert sorted(covered) == list(range(40))
+
+    def test_single_expert_equals_scaled_mlp(self):
+        """E=1: the layer is gate * MLP(x) with gate = softmax over one
+        logit = 1.0, i.e. exactly the dense MLP."""
+        m = make(num_experts=1)
+        x = rng(2).standard_normal((4, 8))
+        y, _ = m.forward(x)
+        y_dense, _ = m.experts[0].forward(x)
+        np.testing.assert_allclose(y, y_dense, rtol=1e-12)
+
+    def test_gradcheck(self):
+        """Away from routing ties, the layer is smooth: finite
+        differences must match the explicit backward."""
+        from repro.nn import check_module_gradients
+
+        m = make(num_experts=3, h=6, ffn=10)
+        x = rng(3).standard_normal((7, 6))
+        check_module_gradients(m, x, rtol=1e-4, atol=1e-6)
+
+    def test_aux_loss_balanced_is_one(self):
+        """Uniform router -> f_e = P_e = 1/E -> aux = 1."""
+        m = make(num_experts=4)
+        m.router.data[...] = 0.0  # uniform probabilities
+        x = rng(2).standard_normal((400, 8))
+        probs, chosen, _ = m.route(x)
+        # With identical logits argmax is constant; construct balanced
+        # assignment manually to exercise the formula.
+        chosen = np.arange(400) % 4
+        assert m.aux_loss(probs, chosen) == pytest.approx(1.0, rel=1e-6)
+
+    def test_aux_loss_penalizes_collapse(self):
+        m = make(num_experts=4)
+        x = rng(2).standard_normal((100, 8))
+        probs, _, _ = m.route(x)
+        collapsed = np.zeros(100, dtype=int)
+        balanced = np.arange(100) % 4
+        assert m.aux_loss(probs, collapsed) > m.aux_loss(probs, balanced)
+
+    def test_training_reduces_loss(self):
+        from repro.nn import Adam
+
+        m = make(num_experts=4, h=8, ffn=16)
+        opt = Adam(m.parameters(), lr=1e-2)
+        x = rng(5).standard_normal((32, 8))
+        target = rng(6).standard_normal((32, 8))
+        losses = []
+        for _ in range(30):
+            m.zero_grad()
+            y, cache = m.forward(x)
+            diff = y - target
+            loss = float(np.mean(diff**2))
+            m.backward(2 * diff / diff.size, cache)
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_rejects_zero_experts(self):
+        with pytest.raises(ValueError):
+            SwitchMLP(8, 16, 0)
+
+
+class TestExpertParallel:
+    @pytest.mark.parametrize("e", [1, 2, 4])
+    def test_matches_serial_exactly(self, e):
+        serial = make(num_experts=4)
+        reference = make(num_experts=4)
+        group = ExpertParallelGroup(ranks=list(range(e)))
+        parallel = ExpertParallelSwitchMLP(serial, group)
+        x = rng(7).standard_normal((4, 6, 8))
+        y_ref, (c_ref, aux_ref) = reference.forward(x)
+        y_par, (c_par, aux_par) = parallel.forward(x)
+        np.testing.assert_allclose(y_par, y_ref, rtol=1e-12)
+        assert aux_par == pytest.approx(aux_ref)
+        dy = rng(8).standard_normal(x.shape)
+        reference.zero_grad()
+        dx_ref = reference.backward(dy, (c_ref, aux_ref))
+        parallel.zero_grad()
+        dx_par = parallel.backward(dy, (c_par, aux_par))
+        np.testing.assert_allclose(dx_par, dx_ref, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(
+            parallel.serial.router.grad, reference.router.grad, rtol=1e-10
+        )
+
+    def test_all_to_all_traffic_logged(self):
+        serial = make(num_experts=4)
+        log = TrafficLog()
+        group = ExpertParallelGroup(ranks=[0, 1], log=log)
+        parallel = ExpertParallelSwitchMLP(serial, group)
+        x = rng(7).standard_normal((16, 8))
+        parallel.forward(x)
+        tags = {r.tag for r in log.records}
+        assert "moe.dispatch" in tags
+
+    def test_rejects_indivisible_experts(self):
+        serial = make(num_experts=3)
+        with pytest.raises(ValueError, match="divisible"):
+            ExpertParallelSwitchMLP(serial, ExpertParallelGroup(ranks=[0, 1]))

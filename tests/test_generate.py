@@ -1,0 +1,103 @@
+"""Tests for autoregressive generation and perplexity."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_test_model
+from repro.nn import Adam, GPTModel, generate, perplexity
+
+CFG = tiny_test_model(num_layers=2, hidden_size=16, num_attention_heads=4,
+                      vocab_size=16, seq_length=8)
+
+
+def trained_copier(steps=60):
+    """Train a tiny GPT to predict token[i+1] = token[i] (copy task)."""
+    model = GPTModel(CFG, seed=0)
+    opt = Adam(model.parameters(), lr=5e-3)
+    r = np.random.default_rng(0)
+    for _ in range(steps):
+        # Sequences of repeated runs: strong copy signal.
+        starts = r.integers(0, CFG.vocab_size, size=(8, 1))
+        ids = np.repeat(starts, CFG.seq_length, axis=1)
+        targets = ids.copy()
+        model.zero_grad()
+        _, caches = model.loss(ids, targets)
+        model.loss_backward(caches)
+        opt.step()
+    return model
+
+
+class TestGenerate:
+    def test_greedy_deterministic(self):
+        model = GPTModel(CFG, seed=0)
+        prompt = np.array([1, 2, 3])
+        a = generate(model, prompt, 5, temperature=0.0)
+        b = generate(model, prompt, 5, temperature=0.0)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (8,)
+        np.testing.assert_array_equal(a[:3], prompt)
+
+    def test_sampling_seeded(self):
+        model = GPTModel(CFG, seed=0)
+        prompt = np.array([1, 2])
+        a = generate(model, prompt, 6, temperature=1.0,
+                     rng=np.random.default_rng(7))
+        b = generate(model, prompt, 6, temperature=1.0,
+                     rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_tokens_in_vocab(self):
+        model = GPTModel(CFG, seed=0)
+        out = generate(model, np.array([0]), 10, temperature=1.5, top_k=4,
+                       rng=np.random.default_rng(1))
+        assert out.min() >= 0 and out.max() < CFG.vocab_size
+
+    def test_window_slides_past_seq_length(self):
+        model = GPTModel(CFG, seed=0)
+        out = generate(model, np.array([1]), CFG.seq_length + 4,
+                       temperature=0.0)
+        assert out.shape == (1 + CFG.seq_length + 4,)
+
+    def test_trained_model_copies(self):
+        """A copy-task model greedily continues the repeated token."""
+        model = trained_copier()
+        out = generate(model, np.array([5, 5, 5]), 4, temperature=0.0)
+        assert list(out[3:]) == [5, 5, 5, 5]
+
+    def test_top_k_restricts_support(self):
+        """top_k=1 equals greedy regardless of temperature."""
+        model = GPTModel(CFG, seed=0)
+        greedy = generate(model, np.array([2, 3]), 6, temperature=0.0)
+        topk1 = generate(model, np.array([2, 3]), 6, temperature=2.0,
+                         top_k=1, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(greedy, topk1)
+
+    def test_validation(self):
+        model = GPTModel(CFG, seed=0)
+        with pytest.raises(ValueError):
+            generate(model, np.array([]), 2)
+        with pytest.raises(ValueError):
+            generate(model, np.array([[1]]), 2)
+        with pytest.raises(ValueError):
+            generate(model, np.array([1]), -1)
+        with pytest.raises(ValueError):
+            generate(model, np.array([1]), 2, temperature=-1)
+        with pytest.raises(ValueError):
+            generate(model, np.array([1]), 2, top_k=0)
+        with pytest.raises(ValueError):
+            generate(model, np.array([CFG.vocab_size]), 2)
+
+
+class TestPerplexity:
+    def test_untrained_near_uniform(self):
+        model = GPTModel(CFG, seed=0)
+        r = np.random.default_rng(0)
+        ids = r.integers(0, CFG.vocab_size, size=(4, CFG.seq_length))
+        ppl = perplexity(model, ids, np.roll(ids, -1, axis=1))
+        assert ppl == pytest.approx(CFG.vocab_size, rel=0.35)
+
+    def test_trained_model_lower_perplexity(self):
+        model = trained_copier()
+        ids = np.full((2, CFG.seq_length), 3)
+        ppl = perplexity(model, ids, ids)
+        assert ppl < 3.0  # copy task nearly solved

@@ -1,0 +1,111 @@
+"""Property-based tests on the performance simulator.
+
+These pin down the *monotonicities* the paper's analysis implies; a
+simulator refactor that breaks one of these breaks the physics, not
+just a calibration constant.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GPTConfig, ParallelConfig
+from repro.sim import SimOptions, simulate_iteration
+
+MODEL = GPTConfig(num_layers=8, hidden_size=512, num_attention_heads=8,
+                  vocab_size=1024, seq_length=256, name="prop-test")
+
+
+def run(p=1, t=1, d=1, b=1, B=8, **opts):
+    par = ParallelConfig(
+        pipeline_parallel_size=p, tensor_parallel_size=t,
+        data_parallel_size=d, microbatch_size=b, global_batch_size=B,
+    )
+    return simulate_iteration(MODEL, par, options=SimOptions(**opts))
+
+
+class TestMonotonicity:
+    @given(B=st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=8, deadline=None)
+    def test_iteration_time_increases_with_batch(self, B):
+        t1 = run(B=B).iteration_time
+        t2 = run(B=2 * B).iteration_time
+        assert t2 > t1
+
+    @given(p=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=6, deadline=None)
+    def test_deeper_pipeline_shorter_iteration_at_large_batch(self, p):
+        """Weak scaling: with plenty of microbatches, more stages finish
+        the same batch faster (the bubble is amortized)."""
+        t1 = run(p=p, B=64).iteration_time
+        t2 = run(p=2 * p, B=64).iteration_time
+        assert t2 < t1
+
+    @given(d=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=6, deadline=None)
+    def test_data_parallel_scales_throughput(self, d):
+        s1 = run(d=d, B=64).sequences_per_second
+        s2 = run(d=2 * d, B=64).sequences_per_second
+        assert s2 > s1
+
+    def test_aggregate_flops_conserved(self):
+        """Model FLOPs per iteration don't depend on the parallelization."""
+        base = run(B=32).model_flops
+        for kwargs in ({"p": 2}, {"t": 2}, {"d": 2}, {"p": 2, "t": 2, "d": 2}):
+            assert run(B=32, **kwargs).model_flops == base
+
+    @given(b=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=6, deadline=None)
+    def test_microbatch_conserves_total_work(self, b):
+        """Larger microbatches change efficiency, not the work: per-GPU
+        tflops stays within a sane band."""
+        r1 = run(b=b, B=32)
+        r2 = run(b=2 * b, B=32)
+        assert 0.5 < r2.tflops_per_gpu / r1.tflops_per_gpu < 2.0
+
+
+class TestInvariants:
+    def test_never_exceeds_peak(self):
+        for kwargs in ({}, {"p": 2}, {"t": 2}, {"d": 4}, {"b": 4}):
+            r = run(B=32, **kwargs)
+            assert 0 < r.peak_fraction < 1.0
+
+    def test_busy_time_bounded_by_pipeline_time(self):
+        r = run(p=4, B=32)
+        assert all(busy <= r.pipeline_time + 1e-12
+                   for busy in r.compute_time_per_rank)
+
+    def test_bubble_fraction_in_unit_interval(self):
+        for p in (1, 2, 4):
+            r = run(p=p, B=8)
+            assert 0.0 <= r.bubble_fraction < 1.0
+
+    def test_single_stage_has_no_bubble(self):
+        assert run(p=1, B=16).bubble_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_components_sum_to_iteration_time(self):
+        r = run(p=2, d=2, B=16)
+        assert r.iteration_time == pytest.approx(
+            r.pipeline_time + r.data_parallel_time + r.optimizer_time
+        )
+
+    def test_options_are_pure(self):
+        """Same inputs -> identical results (simulator is deterministic)."""
+        a = run(p=2, t=2, B=16)
+        b = run(p=2, t=2, B=16)
+        assert a.iteration_time == b.iteration_time
+        assert a.compute_time_per_rank == b.compute_time_per_rank
+
+
+class TestScheduleConsistency:
+    def test_sim_bubble_matches_analytic_when_comm_free(self):
+        """With overlap enabled and t=d=1, the simulated bubble fraction
+        approaches the schedule's (p-1)/m closed form."""
+        from repro.schedule import bubble_overhead
+
+        p, B = 4, 16
+        r = run(p=p, B=B, overlap_p2p=True)
+        want = bubble_overhead(p, B)
+        # First/last stages carry embedding/logit extras, so the match
+        # is approximate.
+        assert r.bubble_fraction == pytest.approx(want, rel=0.35)
