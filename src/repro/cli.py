@@ -9,6 +9,9 @@ Subcommands:
 - ``autotune``  — exhaustively search all feasible configurations with
   the simulator and print the top results;
 - ``schedule``  — render a pipeline-schedule timeline (Figures 3/4);
+- ``trace``     — run one traced training iteration (numeric engine or
+  simulator) and write a Chrome-trace JSON + phase summary
+  (:mod:`repro.obs`);
 - ``experiments`` — alias for ``python -m repro.experiments``.
 """
 
@@ -102,6 +105,68 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import phase_summary, trace, write_chrome_trace, write_metrics
+
+    model = _model_from(args)
+    parallel = ParallelConfig(
+        pipeline_parallel_size=args.p,
+        tensor_parallel_size=args.t,
+        data_parallel_size=args.d,
+        microbatch_size=args.b,
+        global_batch_size=args.batch,
+        num_model_chunks=args.chunks,
+    )
+    parallel.validate_for_model(model)
+    if args.mode == "sim":
+        from repro.sim import SimOptions, simulate_iteration
+
+        with trace() as tracer:
+            res = simulate_iteration(
+                model, parallel, options=SimOptions(schedule_name=args.schedule)
+            )
+        print(f"model: {model}")
+        print(f"parallel: {parallel.describe()}  schedule={args.schedule}")
+        print(f"simulated iteration: {res.iteration_time:.3f} s "
+              f"({res.tflops_per_gpu:.1f} Tflop/s per GPU)")
+    else:
+        import numpy as np
+
+        from repro.nn.profiler import count_flops
+        from repro.parallel import PTDTrainer
+
+        rng = np.random.default_rng(args.seed)
+        shape = (parallel.global_batch_size, model.seq_length)
+        ids = rng.integers(0, model.vocab_size, size=shape)
+        targets = rng.integers(0, model.vocab_size, size=shape)
+        with trace() as tracer, count_flops() as meter:
+            trainer = PTDTrainer(model, parallel, schedule=args.schedule)
+            loss = trainer.train_step(ids, targets)
+        span_bytes = int(tracer.counter_total("bytes"))
+        log_bytes = trainer.log.total_bytes()
+        span_flops = int(tracer.counter_total("flops"))
+        print(f"model: {model}")
+        print(f"parallel: {parallel.describe()}  schedule={args.schedule}")
+        print(f"loss: {loss:.4f}")
+        print(f"bytes: spans={span_bytes}  traffic-log={log_bytes}  "
+              f"match={span_bytes == log_bytes}")
+        print(f"flops: spans={span_flops}  flop-meter={meter.total_flops}  "
+              f"match={span_flops == meter.total_flops}")
+        if span_bytes != log_bytes or span_flops != meter.total_flops:
+            print("error: trace disagrees with ground-truth meters",
+                  file=sys.stderr)
+            return 1
+    print()
+    print(phase_summary(tracer))
+    write_chrome_trace(tracer, args.out)
+    print(f"\nwrote {args.out} ({len(tracer)} spans; open in Perfetto or "
+          "chrome://tracing)")
+    if args.metrics:
+        write_metrics(tracer, args.metrics)
+        print(f"wrote {args.metrics}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +204,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_auto.add_argument("--top", type=int, default=5)
     p_auto.set_defaults(func=_cmd_autotune)
 
+    p_trace = sub.add_parser(
+        "trace", help="trace one training iteration (Chrome-trace output)"
+    )
+    _add_model_args(p_trace)
+    p_trace.add_argument("-p", type=int, default=1, help="pipeline-parallel size")
+    p_trace.add_argument("-t", type=int, default=1, help="tensor-parallel size")
+    p_trace.add_argument("-d", type=int, default=1, help="data-parallel size")
+    p_trace.add_argument("-b", type=int, default=1, help="microbatch size")
+    p_trace.add_argument("--batch", type=int, required=True, help="global batch size")
+    p_trace.add_argument("--chunks", type=int, default=1, help="model chunks (v)")
+    p_trace.add_argument(
+        "--schedule", default="1f1b",
+        choices=["gpipe", "1f1b", "interleaved", "interleaved-gpipe"],
+    )
+    p_trace.add_argument(
+        "--mode", default="engine", choices=["engine", "sim"],
+        help="engine: run the numeric trainer (real bytes/FLOPs); "
+             "sim: modelled timings from the discrete-event simulator",
+    )
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome-trace output path")
+    p_trace.add_argument("--metrics", default=None,
+                         help="also dump the metrics registry as JSON")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(func=_cmd_trace)
+
     p_sched = sub.add_parser("schedule", help="render a schedule timeline")
     p_sched.add_argument(
         "name", choices=["gpipe", "1f1b", "interleaved", "interleaved-gpipe"]
@@ -155,7 +246,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

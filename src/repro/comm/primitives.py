@@ -24,7 +24,26 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.tracer import span as _obs_span
+
 from .traffic import TrafficKind, TrafficLog
+
+
+def _comm_span(name: str, ranks: Sequence[int], kind: TrafficKind, tag: str):
+    """One span per collective, on the group-leader rank's track.
+
+    Bytes are attached by the TrafficLog->tracer adapter, which credits
+    every logged hop to the innermost open span -- i.e. exactly this
+    one, so span byte totals equal the log's ground truth.  When no
+    tracer is active this is a no-op context manager.
+    """
+    return _obs_span(
+        name,
+        phase=f"comm.{kind.value}",
+        rank=ranks[0] if len(ranks) else 0,
+        group=len(ranks),
+        tag=tag,
+    )
 
 
 def _check_group(buffers: Sequence[np.ndarray], ranks: Sequence[int]) -> None:
@@ -57,50 +76,54 @@ def ring_all_reduce(
     argument refers to.
     """
     _check_group(buffers, ranks)
-    k = len(ranks)
-    if k == 1:
-        return [buffers[0].copy()]
-    flat = [np.ascontiguousarray(b, dtype=np.float64).ravel().copy() for b in buffers]
-    n = flat[0].size
-    bounds = np.linspace(0, n, k + 1).astype(int)
-    itemsize = flat[0].itemsize
+    with _comm_span("all_reduce", ranks, kind, tag):
+        k = len(ranks)
+        if k == 1:
+            return [buffers[0].copy()]
+        flat = [
+            np.ascontiguousarray(b, dtype=np.float64).ravel().copy()
+            for b in buffers
+        ]
+        n = flat[0].size
+        bounds = np.linspace(0, n, k + 1).astype(int)
+        itemsize = flat[0].itemsize
 
-    def chunk(i: int) -> slice:
-        j = i % k
-        return slice(bounds[j], bounds[j + 1])
+        def chunk(i: int) -> slice:
+            j = i % k
+            return slice(bounds[j], bounds[j + 1])
 
-    # Phase 1: reduce-scatter.  Step s: rank i sends chunk (i - s) to
-    # rank i+1, which accumulates.
-    for step in range(k - 1):
-        for i in range(k):
-            src, dst = i, (i + 1) % k
-            sl = chunk(i - step)
-            flat[dst][sl] += flat[src][sl]
-            if log is not None:
-                log.add(
-                    ranks[src],
-                    ranks[dst],
-                    (sl.stop - sl.start) * itemsize,
-                    kind,
-                    tag,
-                )
-    # After phase 1, rank i holds the fully-reduced chunk (i + 1).
-    # Phase 2: all-gather the reduced chunks around the ring.
-    for step in range(k - 1):
-        for i in range(k):
-            src, dst = i, (i + 1) % k
-            sl = chunk(i + 1 - step)
-            flat[dst][sl] = flat[src][sl]
-            if log is not None:
-                log.add(
-                    ranks[src],
-                    ranks[dst],
-                    (sl.stop - sl.start) * itemsize,
-                    kind,
-                    tag,
-                )
-    shape, dtype = buffers[0].shape, buffers[0].dtype
-    return [f.reshape(shape).astype(dtype) for f in flat]
+        # Phase 1: reduce-scatter.  Step s: rank i sends chunk (i - s) to
+        # rank i+1, which accumulates.
+        for step in range(k - 1):
+            for i in range(k):
+                src, dst = i, (i + 1) % k
+                sl = chunk(i - step)
+                flat[dst][sl] += flat[src][sl]
+                if log is not None:
+                    log.add(
+                        ranks[src],
+                        ranks[dst],
+                        (sl.stop - sl.start) * itemsize,
+                        kind,
+                        tag,
+                    )
+        # After phase 1, rank i holds the fully-reduced chunk (i + 1).
+        # Phase 2: all-gather the reduced chunks around the ring.
+        for step in range(k - 1):
+            for i in range(k):
+                src, dst = i, (i + 1) % k
+                sl = chunk(i + 1 - step)
+                flat[dst][sl] = flat[src][sl]
+                if log is not None:
+                    log.add(
+                        ranks[src],
+                        ranks[dst],
+                        (sl.stop - sl.start) * itemsize,
+                        kind,
+                        tag,
+                    )
+        shape, dtype = buffers[0].shape, buffers[0].dtype
+        return [f.reshape(shape).astype(dtype) for f in flat]
 
 
 def all_gather(
@@ -114,16 +137,17 @@ def all_gather(
     """Ring all-gather: every rank ends with the concatenation (along
     ``axis``) of all shards, in group-rank order."""
     _check_group_like(shards, ranks)
-    k = len(ranks)
-    full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
-    if log is not None and k > 1:
-        # Ring: each rank forwards each of the other k-1 shards once.
-        for step in range(k - 1):
-            for i in range(k):
-                src, dst = i, (i + 1) % k
-                moved = shards[(i - step) % k].nbytes
-                log.add(ranks[src], ranks[dst], moved, kind, tag)
-    return [full.copy() for _ in range(k)]
+    with _comm_span("all_gather", ranks, kind, tag):
+        k = len(ranks)
+        full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
+        if log is not None and k > 1:
+            # Ring: each rank forwards each of the other k-1 shards once.
+            for step in range(k - 1):
+                for i in range(k):
+                    src, dst = i, (i + 1) % k
+                    moved = shards[(i - step) % k].nbytes
+                    log.add(ranks[src], ranks[dst], moved, kind, tag)
+        return [full.copy() for _ in range(k)]
 
 
 def reduce_scatter(
@@ -136,20 +160,23 @@ def reduce_scatter(
     """Ring reduce-scatter along axis 0: rank i receives the i-th
     equal slab of the element-wise sum.  Requires axis-0 divisibility."""
     _check_group(buffers, ranks)
-    k = len(ranks)
-    if buffers[0].shape[0] % k != 0:
-        raise ValueError(
-            f"reduce_scatter needs axis-0 ({buffers[0].shape[0]}) divisible "
-            f"by group size ({k})"
-        )
-    total = np.sum([b.astype(np.float64) for b in buffers], axis=0)
-    slabs = np.split(total, k, axis=0)
-    if log is not None and k > 1:
-        per_rank_bytes = buffers[0].nbytes // k
-        for step in range(k - 1):
-            for i in range(k):
-                log.add(ranks[i], ranks[(i + 1) % k], per_rank_bytes, kind, tag)
-    return [s.astype(buffers[0].dtype) for s in slabs]
+    with _comm_span("reduce_scatter", ranks, kind, tag):
+        k = len(ranks)
+        if buffers[0].shape[0] % k != 0:
+            raise ValueError(
+                f"reduce_scatter needs axis-0 ({buffers[0].shape[0]}) divisible "
+                f"by group size ({k})"
+            )
+        total = np.sum([b.astype(np.float64) for b in buffers], axis=0)
+        slabs = np.split(total, k, axis=0)
+        if log is not None and k > 1:
+            per_rank_bytes = buffers[0].nbytes // k
+            for step in range(k - 1):
+                for i in range(k):
+                    log.add(
+                        ranks[i], ranks[(i + 1) % k], per_rank_bytes, kind, tag
+                    )
+        return [s.astype(buffers[0].dtype) for s in slabs]
 
 
 def broadcast(
@@ -163,12 +190,13 @@ def broadcast(
     """Broadcast from ``root`` (a global rank in ``ranks``) to the group."""
     if root not in ranks:
         raise ValueError(f"root {root} not in group {ranks}")
-    out = []
-    for r in ranks:
-        out.append(np.asarray(buffer).copy())
-        if log is not None and r != root:
-            log.add(root, r, buffer.nbytes, kind, tag)
-    return out
+    with _comm_span("broadcast", ranks, kind, tag):
+        out = []
+        for r in ranks:
+            out.append(np.asarray(buffer).copy())
+            if log is not None and r != root:
+                log.add(root, r, buffer.nbytes, kind, tag)
+        return out
 
 
 def send(
@@ -182,9 +210,12 @@ def send(
     """Point-to-point transfer; returns the received array."""
     if src == dst:
         raise ValueError("p2p send requires distinct src and dst ranks")
-    if log is not None:
-        log.add(src, dst, buffer.nbytes, kind, tag)
-    return np.asarray(buffer).copy()
+    with _obs_span(
+        "send", phase=f"comm.{kind.value}", rank=src, dst=dst, tag=tag
+    ):
+        if log is not None:
+            log.add(src, dst, buffer.nbytes, kind, tag)
+        return np.asarray(buffer).copy()
 
 
 def _check_group_like(shards: Sequence[np.ndarray], ranks: Sequence[int]) -> None:

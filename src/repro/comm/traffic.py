@@ -18,6 +18,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.hardware import ClusterTopology
+from repro.obs.tracer import record_transfer
 
 
 class TrafficKind(enum.Enum):
@@ -60,10 +61,29 @@ class TrafficLog:
         kind: TrafficKind = TrafficKind.OTHER,
         tag: str = "",
     ) -> None:
-        self.records.append(TransferRecord(src, dst, int(nbytes), kind, tag))
+        record = TransferRecord(src, dst, int(nbytes), kind, tag)
+        self.records.append(record)
+        # Adapter into repro.obs: attribute the transfer to any active
+        # tracer (span + metrics); a no-op when tracing is off.
+        record_transfer(record.nbytes, record.kind.value)
 
     def total_bytes(self, kind: TrafficKind | None = None) -> int:
         return sum(r.nbytes for r in self.records if kind is None or r.kind is kind)
+
+    def by_tag(self, kind: TrafficKind | None = None) -> dict[str, int]:
+        """Total bytes per tag (optionally restricted to one kind)."""
+        out: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            if kind is None or r.kind is kind:
+                out[r.tag] += r.nbytes
+        return dict(out)
+
+    def bytes_by_kind(self) -> dict[TrafficKind, int]:
+        """Total bytes per traffic kind (the §3 decomposition axis)."""
+        out: dict[TrafficKind, int] = defaultdict(int)
+        for r in self.records:
+            out[r.kind] += r.nbytes
+        return dict(out)
 
     def bytes_sent_by_rank(self, kind: TrafficKind | None = None) -> dict[int, int]:
         out: dict[int, int] = defaultdict(int)

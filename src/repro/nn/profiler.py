@@ -69,4 +69,10 @@ def count_flops():
     try:
         yield meter
     finally:
-        _ACTIVE.remove(meter)
+        # Pop by identity, not equality: FlopMeter is a dataclass, so
+        # two meters with identical contents (e.g. nested empty meters)
+        # compare equal and list.remove would deactivate the wrong one.
+        for i in range(len(_ACTIVE) - 1, -1, -1):
+            if _ACTIVE[i] is meter:
+                del _ACTIVE[i]
+                break

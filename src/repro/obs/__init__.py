@@ -1,0 +1,67 @@
+"""Unified observability: tracing, metrics, and exporters.
+
+``repro.obs`` is the single place where the system's three measurement
+streams meet:
+
+- **spans** — structured, nestable ``(rank, phase, name, start, end)``
+  intervals from the schedule executor, the comm primitives, the
+  trainers, and the simulator (:mod:`repro.obs.tracer`);
+- **metrics** — counters/gauges/histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, fed by the
+  :class:`~repro.nn.profiler.FlopMeter` and
+  :class:`~repro.comm.traffic.TrafficLog` adapters
+  (:mod:`repro.obs.adapters`);
+- **exports** — Chrome ``trace_event`` JSON (Perfetto /
+  chrome://tracing), a flat phase-summary table, and a metrics dump
+  (:mod:`repro.obs.export`), surfaced by ``python -m repro trace``.
+
+Activate with ``with trace() as tracer: ...``; when no tracer is
+active every instrumentation hook short-circuits on an empty list.
+"""
+
+from .adapters import TracerFlopMeter, flop_adapter, replay_traffic_log
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_json,
+    phase_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    GLOBAL_RANK,
+    Span,
+    Tracer,
+    current_tracer,
+    record_transfer,
+    span,
+    trace,
+    tracing_active,
+)
+
+__all__ = [
+    "GLOBAL_RANK",
+    "Span",
+    "Tracer",
+    "trace",
+    "span",
+    "current_tracer",
+    "tracing_active",
+    "record_transfer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TracerFlopMeter",
+    "flop_adapter",
+    "replay_traffic_log",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "phase_summary",
+    "metrics_json",
+    "write_metrics",
+    "validate_chrome_trace",
+]

@@ -301,7 +301,7 @@ class PipelineParallelGPT:
                     prev = stage_id - 1
                     grad_inbox[(mb, prev)] = self._p2p(dx, stage_id, prev, "grad")
 
-        execute(self.schedule, handler)
+        execute(self.schedule, handler, span_ranks=self.pipeline_ranks)
         if act_inbox or grad_inbox:
             raise RuntimeError("pipeline finished with undelivered tensors")
         for stage in self.stages:

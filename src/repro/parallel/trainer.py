@@ -26,6 +26,7 @@ import numpy as np
 from repro.comm import ProcessGroups, TrafficLog
 from repro.config import GPTConfig, ParallelConfig
 from repro.nn import Adam
+from repro.obs import span as obs_span
 from repro.schedule import make_schedule
 
 from .data_parallel import all_reduce_gradients, scatter_batch
@@ -110,29 +111,33 @@ class PTDTrainer:
         m = self.parallel.num_microbatches
         shards = scatter_batch(ids, targets, d)
         losses = []
-        for replica, (rid, rtgt) in zip(self.replicas, shards):
-            replica.zero_grad()
-            microbatches = make_microbatches(rid, rtgt, m)
-            losses.append(
-                replica.run_iteration(
-                    microbatches, grad_scale=self.loss_scale / m
-                )
-            )
-        if d > 1:
-            all_reduce_gradients(
-                [replica.parameters() for replica in self.replicas],
-                self._dp_ranks,
-                self.log,
-                average=True,
-            )
-        if self.loss_scale != 1.0:
-            for replica in self.replicas:
-                for p in replica.parameters():
-                    p.grad /= self.loss_scale
-        if self.grad_clip_norm is not None:
-            self._clip_gradients()
-        for opt in self.optimizers:
-            opt.step()
+        with obs_span("iteration", phase="iteration", iteration=self.iteration):
+            with obs_span("pipeline", phase="pipeline"):
+                for replica, (rid, rtgt) in zip(self.replicas, shards):
+                    replica.zero_grad()
+                    microbatches = make_microbatches(rid, rtgt, m)
+                    losses.append(
+                        replica.run_iteration(
+                            microbatches, grad_scale=self.loss_scale / m
+                        )
+                    )
+            if d > 1:
+                with obs_span("grad-allreduce", phase="grad-allreduce"):
+                    all_reduce_gradients(
+                        [replica.parameters() for replica in self.replicas],
+                        self._dp_ranks,
+                        self.log,
+                        average=True,
+                    )
+            with obs_span("optimizer", phase="optimizer"):
+                if self.loss_scale != 1.0:
+                    for replica in self.replicas:
+                        for p in replica.parameters():
+                            p.grad /= self.loss_scale
+                if self.grad_clip_norm is not None:
+                    self._clip_gradients()
+                for opt in self.optimizers:
+                    opt.step()
         self.iteration += 1
         return float(np.mean(losses))
 

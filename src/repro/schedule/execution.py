@@ -25,9 +25,13 @@ Dependency rules (strict synchronous semantics, §2.2):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
+
+from repro.obs.tracer import current_tracer
 
 from .ir import OpKind, PipelineSchedule, ScheduleOp
+
+_PHASE = {OpKind.FORWARD: "forward", OpKind.BACKWARD: "backward"}
 
 
 class DeadlockError(RuntimeError):
@@ -83,9 +87,12 @@ def cross_rank_dependencies(
 Handler = Callable[[int, ScheduleOp], None]
 
 
-def execute(schedule: PipelineSchedule, handler: Handler | None = None) -> list[
-    tuple[int, ScheduleOp]
-]:
+def execute(
+    schedule: PipelineSchedule,
+    handler: Handler | None = None,
+    *,
+    span_ranks: Sequence[int] | None = None,
+) -> list[tuple[int, ScheduleOp]]:
     """Run every op of ``schedule`` respecting dependencies.
 
     Repeatedly scans the ranks round-robin, running each rank's next op
@@ -93,12 +100,18 @@ def execute(schedule: PipelineSchedule, handler: Handler | None = None) -> list[
     the virtual devices).  Returns the global completion order as
     ``(rank, op)`` pairs, calling ``handler(rank, op)`` at each step.
 
+    When a :mod:`repro.obs` tracer is active and a handler is given,
+    each handler call runs inside a forward/backward span;
+    ``span_ranks`` maps the schedule's local pipeline ranks to the
+    global (trace-track) ranks, defaulting to the local indices.
+
     Raises
     ------
     DeadlockError
         If no rank can make progress but ops remain; the message lists
         each blocked op and its first unmet dependency.
     """
+    tracer = current_tracer() if handler is not None else None
     pointers = [0] * schedule.num_stages
     done: set[OpInstance] = set()
     order: list[tuple[int, ScheduleOp]] = []
@@ -112,7 +125,21 @@ def execute(schedule: PipelineSchedule, handler: Handler | None = None) -> list[
                 if any(dep not in done for dep in dependencies(schedule, inst)):
                     break
                 if handler is not None:
-                    handler(rank, op)
+                    if tracer is not None:
+                        track = (
+                            span_ranks[rank] if span_ranks is not None else rank
+                        )
+                        with tracer.span(
+                            str(op),
+                            phase=_PHASE[op.kind],
+                            rank=track,
+                            microbatch=op.microbatch,
+                            chunk=op.chunk,
+                            stage=inst.stage,
+                        ):
+                            handler(rank, op)
+                    else:
+                        handler(rank, op)
                 done.add(inst)
                 order.append((rank, op))
                 pointers[rank] += 1
@@ -236,6 +263,20 @@ def simulate_times(
                 f"schedule {schedule.describe()} deadlocked during timing"
             )
     makespan = max(t.end for t in timed)
+    tracer = current_tracer()
+    if tracer is not None:
+        for t in timed:
+            inst = resolve(schedule, t.rank, t.op)
+            tracer.add_span(
+                str(t.op),
+                phase=_PHASE[t.op.kind],
+                rank=t.rank,
+                start=t.start,
+                end=t.end,
+                microbatch=t.op.microbatch,
+                chunk=t.op.chunk,
+                stage=inst.stage,
+            )
     return Timeline(schedule=schedule, ops=tuple(timed), makespan=makespan)
 
 

@@ -2,6 +2,7 @@
 
 from .trainer_sim import (
     SimOptions,
+    SimTimedOp,
     SimulationResult,
     render_simulated_timeline,
     simulate_iteration,
@@ -10,6 +11,7 @@ from .zero_sim import ZeroSimResult, simulate_zero3_iteration
 
 __all__ = [
     "SimOptions",
+    "SimTimedOp",
     "SimulationResult",
     "simulate_iteration",
     "render_simulated_timeline",

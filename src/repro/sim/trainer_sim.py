@@ -37,15 +37,40 @@ from repro.hardware import (
     cluster_for_gpus,
     dgx_a100,
 )
+from repro.obs.tracer import GLOBAL_RANK, current_tracer
 from repro.perf.layer_costs import stage_compute_cost
 from repro.perf.memory import MODEL_STATE_BYTES_PER_PARAM, parameters_per_rank
 from repro.schedule import (
     OpKind,
     PipelineSchedule,
+    TimedOp,
     dependencies,
     make_schedule,
     resolve,
 )
+
+
+@dataclass(frozen=True)
+class SimTimedOp(TimedOp):
+    """A simulated-timeline window that carries its op identity.
+
+    Extends the schedule-level :class:`~repro.schedule.TimedOp`
+    (rank, op, start, end) with the resolved global ``stage`` and the
+    p2p communication time folded into the window, so exporters and
+    the timeline renderer can label windows without re-resolving the
+    schedule.
+    """
+
+    stage: int = 0
+    comm_time: float = 0.0
+
+    @property
+    def kind(self) -> OpKind:
+        return self.op.kind
+
+    @property
+    def microbatch(self) -> int:
+        return self.op.microbatch
 
 
 @dataclass(frozen=True)
@@ -60,7 +85,7 @@ class SimOptions:
     activation_dtype_size: int = 2
     overlap_p2p: bool = False  # paper: sends/recvs in parallel w/ compute
     tp_channels: int = 2  # NCCL channels for per-layer TP collectives
-    collect_timeline: bool = False  # keep per-op (start, end) windows
+    collect_timeline: bool = False  # keep per-op SimTimedOp windows
 
 
 @dataclass
@@ -214,12 +239,14 @@ def simulate_iteration(
         recv_bwd = {g: 0.0 for g in recv_bwd}
 
     # -- list-schedule the ops ---------------------------------------------
+    tracer = current_tracer()
     finish: dict = {}
     pointers = [0] * p
     device_free = [0.0] * p
     busy = [0.0] * p
     p2p_total = 0.0
-    timeline: list | None = [] if options.collect_timeline else None
+    collect = options.collect_timeline or tracer is not None
+    timeline: list[SimTimedOp] | None = [] if collect else None
     total_ops = sum(len(r) for r in schedule.ops)
     done_ops = 0
     while done_ops < total_ops:
@@ -246,9 +273,12 @@ def simulate_iteration(
                 device_free[rank] = end
                 busy[rank] += dur
                 if timeline is not None:
-                    from repro.schedule.execution import TimedOp
-
-                    timeline.append(TimedOp(rank, op, ready, end))
+                    timeline.append(
+                        SimTimedOp(
+                            rank, op, ready, end,
+                            stage=inst.stage, comm_time=comm_dur,
+                        )
+                    )
                 pointers[rank] += 1
                 done_ops += 1
                 progressed = True
@@ -284,6 +314,49 @@ def simulate_iteration(
         parallel.global_batch_size,
         with_recompute=options.recompute_activations,
     )
+
+    # -- emit the simulated timeline as spans (modelled clock) --------------
+    if tracer is not None and timeline is not None:
+        phase_of = {OpKind.FORWARD: "forward", OpKind.BACKWARD: "backward"}
+        for w in timeline:
+            tracer.add_span(
+                str(w.op),
+                phase=phase_of[w.kind],
+                rank=stage_rank(w.stage),
+                start=w.start,
+                end=w.end,
+                microbatch=w.microbatch,
+                chunk=w.op.chunk,
+                stage=w.stage,
+                comm_time=w.comm_time,
+                tp_time=(fwd_tp if w.kind is OpKind.FORWARD else bwd_tp)[w.stage],
+            )
+        t0 = pipeline_time
+        if d > 1:
+            tracer.add_span(
+                "grad-allreduce", phase="grad-allreduce", rank=GLOBAL_RANK,
+                start=t0, end=t0 + dp_time,
+                bytes=params_rank * options.grad_dtype_size, group=d,
+            )
+        if p > 1:
+            tracer.add_span(
+                "tied-embedding-allreduce", phase="grad-allreduce",
+                rank=GLOBAL_RANK,
+                start=t0 + dp_time, end=t0 + dp_time + embed_time,
+            )
+        tracer.add_span(
+            "optimizer", phase="optimizer", rank=GLOBAL_RANK,
+            start=t0 + dp_time + embed_time, end=iteration_time,
+            bytes=params_rank * MODEL_STATE_BYTES_PER_PARAM,
+        )
+        tracer.add_span(
+            "iteration", phase="iteration", rank=GLOBAL_RANK,
+            start=0.0, end=iteration_time, flops=model_flops,
+        )
+        tracer.metrics.gauge("sim.iteration_time").set(iteration_time)
+        tracer.metrics.gauge("sim.pipeline_time").set(pipeline_time)
+        tracer.metrics.counter("sim.model_flops").inc(model_flops)
+
     return SimulationResult(
         iteration_time=iteration_time,
         pipeline_time=pipeline_time,
@@ -301,7 +374,9 @@ def simulate_iteration(
             "schedule": options.schedule_name,
             "m": m,
             "layers_per_stage": layers_per_stage,
-            "timeline": tuple(timeline) if timeline is not None else None,
+            "timeline": (
+                tuple(timeline) if options.collect_timeline else None
+            ),
             "pipeline_schedule": schedule,
         },
     )

@@ -66,6 +66,39 @@ class TestSchedule:
         assert rc == 2
 
 
+class TestTrace:
+    def test_engine_smoke(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "trace", "--layers", "4", "--hidden", "32", "--heads", "4",
+            "--vocab", "64", "--seq", "16", "-p", "2", "--batch", "4",
+            "--out", str(out), "--metrics", str(metrics),
+        ])
+        assert rc == 0
+        assert out.exists() and metrics.exists()
+        text = capsys.readouterr().out
+        assert "match=True" in text and "phase" in text
+
+    def test_sim_mode(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", *MODEL, "-p", "2", "-d", "2", "--batch", "8",
+            "--mode", "sim", "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "simulated iteration" in capsys.readouterr().out
+
+    def test_invalid_config_reports_error(self, tmp_path, capsys):
+        rc = main([
+            "trace", *MODEL, "-p", "3", "--batch", "8",
+            "--out", str(tmp_path / "t.json"),
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -162,6 +162,30 @@ class TestTrafficLog:
         log.clear()
         assert len(log) == 0
 
+    def test_by_tag(self):
+        log = TrafficLog()
+        log.add(0, 1, 10, TrafficKind.TENSOR_PARALLEL, "attn")
+        log.add(1, 0, 5, TrafficKind.TENSOR_PARALLEL, "attn")
+        log.add(0, 1, 20, TrafficKind.DATA_PARALLEL, "grad")
+        log.add(0, 1, 7)  # empty tag
+        assert log.by_tag() == {"attn": 15, "grad": 20, "": 7}
+        assert log.by_tag(TrafficKind.TENSOR_PARALLEL) == {"attn": 15}
+
+    def test_bytes_by_kind(self):
+        log = TrafficLog()
+        log.add(0, 1, 10, TrafficKind.TENSOR_PARALLEL)
+        log.add(0, 1, 20, TrafficKind.DATA_PARALLEL)
+        log.add(0, 1, 30, TrafficKind.DATA_PARALLEL)
+        assert log.bytes_by_kind() == {
+            TrafficKind.TENSOR_PARALLEL: 10,
+            TrafficKind.DATA_PARALLEL: 50,
+        }
+        assert sum(log.bytes_by_kind().values()) == log.total_bytes()
+
+    def test_bytes_by_kind_empty(self):
+        assert TrafficLog().bytes_by_kind() == {}
+        assert TrafficLog().by_tag() == {}
+
 
 class TestProcessGroups:
     def cfg(self, p=2, t=4, d=2):

@@ -58,6 +58,31 @@ class TestFlopMeter:
                 model.forward(ids)
         assert inner.total_flops == outer.total_flops > 0
 
+    def test_nested_identical_meters_pop_correct_instance(self):
+        """Regression: exiting an inner meter that compares equal to the
+        outer one (both empty) must deactivate the *inner* instance.
+        list.remove() removed the first equal element -- the outer
+        meter -- so work after the inner block was lost."""
+        from repro.nn.profiler import _ACTIVE, record_gemm_flops
+
+        depth = len(_ACTIVE)
+        with count_flops() as outer:
+            with count_flops() as inner:
+                pass  # both meters are empty, hence equal
+            record_gemm_flops("late", 7)
+        assert outer.category("late") == 7
+        assert inner.category("late") == 0
+        assert len(_ACTIVE) == depth
+
+    def test_meter_deactivated_on_exception(self):
+        from repro.nn.profiler import _ACTIVE
+
+        depth = len(_ACTIVE)
+        with pytest.raises(RuntimeError):
+            with count_flops():
+                raise RuntimeError("boom")
+        assert len(_ACTIVE) == depth
+
 
 class TestEq3Agreement:
     def test_serial_iteration_matches_eq3(self):
