@@ -19,3 +19,19 @@ def show(capsys):
             print(result.to_text())
 
     return _show
+
+
+@pytest.fixture(scope="session")
+def goodput_1t():
+    """(scenario, policy) for the 1T/384-node resilience benchmarks.
+
+    Session-scoped: the restart policy prices §5.10 checkpoint I/O once
+    and is shared by every goodput bench.
+    """
+    from repro.resilience import RestartPolicy, goodput_scenarios
+
+    scenario = goodput_scenarios()["1t"]
+    policy = RestartPolicy.from_io_model(
+        scenario.model, scenario.parallel, scenario.num_nodes
+    )
+    return scenario, policy

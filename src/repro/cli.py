@@ -12,7 +12,15 @@ Subcommands:
 - ``trace``     — run one traced training iteration (numeric engine or
   simulator) and write a Chrome-trace JSON + phase summary
   (:mod:`repro.obs`);
+- ``goodput``   — sweep checkpoint intervals for a preset model +
+  cluster, report the optimum vs. the analytic Young/Daly interval,
+  and replay a failure trace through the goodput simulator
+  (:mod:`repro.resilience`);
 - ``experiments`` — alias for ``python -m repro.experiments``.
+
+Configuration errors (bad model shapes, infeasible parallel configs,
+unwritable output paths) are mapped onto a clean ``error: ...`` message
+and exit code 2 — no tracebacks for user input.
 """
 
 from __future__ import annotations
@@ -167,6 +175,120 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_goodput(args) -> int:
+    from repro.obs import trace, write_chrome_trace
+    from repro.resilience import (
+        FaultPlan,
+        RankFailure,
+        RestartPolicy,
+        goodput_scenarios,
+        log_spaced_intervals,
+        simulate_goodput,
+        sweep_checkpoint_interval,
+    )
+    from repro.sim import simulate_iteration
+
+    scenario = goodput_scenarios()[args.preset]
+    if args.node_mtbf_hours is not None:
+        if args.node_mtbf_hours <= 0:
+            raise ValueError(
+                f"--node-mtbf-hours must be > 0, got {args.node_mtbf_hours}"
+            )
+        from dataclasses import replace
+
+        scenario = replace(scenario, node_mtbf_hours=args.node_mtbf_hours)
+    model, parallel = scenario.model, scenario.parallel
+    mtbf = scenario.cluster_mtbf_seconds
+
+    res = simulate_iteration(model, parallel)
+    iter_time = res.iteration_time
+    policy = RestartPolicy.from_io_model(model, parallel, scenario.num_nodes)
+    detect = policy.detector.expected_latency()
+    print(f"scenario: {args.preset}  {model}")
+    print(f"parallel: {parallel.describe()}  nodes={scenario.num_nodes}")
+    print(f"iteration time   : {iter_time:.3f} s (simulated)")
+    print(f"checkpoint save  : {policy.save_seconds:.1f} s   "
+          f"load: {policy.load_seconds:.1f} s")
+    print(f"cluster MTBF     : {mtbf:.0f} s "
+          f"({scenario.node_mtbf_hours:g} h node MTBF / "
+          f"{scenario.num_nodes} nodes)")
+    print(f"detection latency: {detect:.1f} s expected")
+
+    lo = args.min_interval or 2 * policy.save_seconds
+    hi = args.max_interval or mtbf
+    sweep = sweep_checkpoint_interval(
+        log_spaced_intervals(lo, hi, args.points),
+        mtbf_seconds=mtbf,
+        save_seconds=policy.save_seconds,
+        load_seconds=policy.load_seconds,
+        detection_seconds=detect,
+    )
+    print()
+    print(f"{'interval (s)':>14} {'goodput':>9} {'overhead':>9}")
+    for i, pt in enumerate(sweep.points):
+        marker = "  <-- optimum" if i == sweep.best_index else ""
+        print(f"{pt.interval_seconds:>14.1f} {pt.goodput:>9.4f} "
+              f"{pt.overhead_rate:>9.4f}{marker}")
+    print()
+    print(f"sweep optimum    : {sweep.best.interval_seconds:.1f} s "
+          f"(goodput {sweep.best.goodput:.4f})")
+    print(f"Young/Daly       : {sweep.analytic_interval_seconds:.1f} s")
+    print(f"agreement        : within one sweep step: "
+          f"{sweep.agrees_within_one_step}")
+
+    # -- replay a concrete failure trace at the optimal interval ------------
+    interval_iters = max(1, round(sweep.best.interval_seconds / iter_time))
+    if args.failures:
+        failure_iters = [int(x) for x in args.failures.split(",")]
+    else:
+        # One failure per cluster-MTBF of useful time, four MTBFs deep.
+        step = max(1, round(mtbf / iter_time))
+        failure_iters = [step * (i + 1) for i in range(4)]
+    total = args.iterations or (max(failure_iters) + interval_iters)
+    plan = FaultPlan(
+        failures=tuple(
+            RankFailure(at_iteration=k) for k in failure_iters if k < total
+        )
+    )
+    print()
+    print(f"failure trace    : rank failures at iterations "
+          f"{[f.at_iteration for f in plan.failures]} of {total} "
+          f"(checkpoint every {interval_iters} iterations)")
+    if args.out:
+        with trace() as tracer:
+            report = simulate_goodput(
+                iter_time, total, interval_iters, policy, plan
+            )
+        write_chrome_trace(tracer, args.out)
+        # Each resilience span carries its modelled duration in a
+        # ``seconds`` counter; summing counters reproduces the report's
+        # accumulation order bit-for-bit (span start/end live on a large
+        # wall-clock offset, so ``end - start`` alone rounds in the last
+        # ulp).
+        sums = {
+            phase: tracer.counter_total("seconds", phase=f"resilience.{phase}")
+            for phase in ("checkpoint", "detect", "load", "lost-work")
+        }
+        expected = {
+            "checkpoint": report.checkpoint_seconds,
+            "detect": report.detection_seconds,
+            "load": report.load_seconds,
+            "lost-work": report.lost_work_seconds,
+        }
+        match = all(sums[k] == expected[k] for k in expected)
+        print(report.describe())
+        print(f"wrote {args.out} ({len(tracer)} spans)")
+        print(f"span/report overhead accounting match={match}")
+        if not match:
+            print("error: trace spans disagree with the goodput report",
+                  file=sys.stderr)
+            return 1
+    else:
+        report = simulate_goodput(iter_time, total, interval_iters, policy, plan)
+        print(report.describe())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -229,6 +351,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also dump the metrics registry as JSON")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_good = sub.add_parser(
+        "goodput",
+        help="checkpoint-interval sweep + goodput under a failure trace",
+    )
+    p_good.add_argument(
+        "--preset", default="1t", choices=["1t", "530b", "175b"],
+        help="model + cluster scenario (Table 1 flagship configs)",
+    )
+    p_good.add_argument(
+        "--node-mtbf-hours", type=float, default=None,
+        help="override the scenario's per-node MTBF",
+    )
+    p_good.add_argument("--points", type=int, default=25,
+                        help="sweep points (log-spaced)")
+    p_good.add_argument("--min-interval", type=float, default=None,
+                        help="sweep lower bound, seconds (default 2x save)")
+    p_good.add_argument("--max-interval", type=float, default=None,
+                        help="sweep upper bound, seconds (default MTBF)")
+    p_good.add_argument(
+        "--failures", default=None,
+        help="comma-separated failure iterations for the replayed trace "
+             "(default: one per cluster-MTBF of useful time)",
+    )
+    p_good.add_argument("--iterations", type=int, default=None,
+                        help="length of the replayed run, iterations")
+    p_good.add_argument("--out", default=None,
+                        help="write a Chrome trace of the replayed run")
+    p_good.set_defaults(func=_cmd_goodput)
 
     p_sched = sub.add_parser("schedule", help="render a schedule timeline")
     p_sched.add_argument(

@@ -24,9 +24,27 @@ from repro.hardware import ClusterTopology
 
 @dataclass(frozen=True)
 class CommCostModel:
-    """Prices communication operations on a :class:`ClusterTopology`."""
+    """Prices communication operations on a :class:`ClusterTopology`.
+
+    ``bandwidth_derate`` scales every bandwidth term (NVLink, IB, all
+    collectives and p2p alike) to model degraded interconnect health —
+    the :mod:`repro.resilience.faults` link-degradation injector sets
+    it from a fault plan.  Latency (alpha) terms are unaffected: a
+    congested or flapping link loses throughput, not propagation time.
+    """
 
     topology: ClusterTopology
+    bandwidth_derate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bandwidth_derate <= 1:
+            raise ValueError(
+                f"bandwidth_derate must be in (0, 1], got {self.bandwidth_derate}"
+            )
+
+    def _bw(self, nominal: float) -> float:
+        """Effective bandwidth of a link with nominal rate ``nominal``."""
+        return nominal * self.bandwidth_derate
 
     # -- point-to-point ---------------------------------------------------
     def p2p_time(self, src: int, dst: int, nbytes: float) -> float:
@@ -35,7 +53,7 @@ class CommCostModel:
             raise ValueError("nbytes must be >= 0")
         if src == dst:
             return 0.0
-        bw = self.topology.link_bandwidth(src, dst)
+        bw = self._bw(self.topology.link_bandwidth(src, dst))
         return self.topology.link_latency(src, dst) + nbytes / bw
 
     def pipeline_p2p_time(
@@ -67,7 +85,7 @@ class CommCostModel:
         t = tensor_parallel_size
         ib_time = self.p2p_time(src, dst, nbytes / t)
         # NVLink all-gather of the other (t-1)/t of the tensor.
-        nvlink_bw = self.topology.node.nvlink_bandwidth
+        nvlink_bw = self._bw(self.topology.node.nvlink_bandwidth)
         gather_time = (
             self.topology.node.nvlink_latency * (t - 1)
             + (nbytes * (t - 1) / t) / nvlink_bw
@@ -110,11 +128,13 @@ class CommCostModel:
         if g > 1:
             intra = (
                 (g - 1) * node.nvlink_latency
-                + (g - 1) / g * nbytes / node.nvlink_bandwidth
+                + (g - 1) / g * nbytes / self._bw(node.nvlink_bandwidth)
             )
         if num_nodes > 1:
             lanes = g if channels is None else min(g, channels)
-            bw = min(lanes * node.ib_bandwidth_per_hca, node.total_ib_bandwidth)
+            bw = self._bw(
+                min(lanes * node.ib_bandwidth_per_hca, node.total_ib_bandwidth)
+            )
             inter = (
                 (num_nodes - 1) * node.ib_latency
                 + (num_nodes - 1) / num_nodes * nbytes / bw
@@ -124,7 +144,7 @@ class CommCostModel:
             # cannot happen with distinct ranks; keep NVLink ring.
             intra = (
                 (k - 1) * node.nvlink_latency
-                + (k - 1) / k * nbytes / node.nvlink_bandwidth
+                + (k - 1) / k * nbytes / self._bw(node.nvlink_bandwidth)
             )
         return intra, inter
 
@@ -173,8 +193,10 @@ class CommCostModel:
         g, num_nodes = self._group_geometry(ranks)
         node = self.topology.node
         if num_nodes == 1:
-            return (k - 1) * node.nvlink_latency + nbytes / node.nvlink_bandwidth
-        bw = min(g * node.ib_bandwidth_per_hca, node.total_ib_bandwidth)
+            return (k - 1) * node.nvlink_latency + nbytes / self._bw(
+                node.nvlink_bandwidth
+            )
+        bw = self._bw(min(g * node.ib_bandwidth_per_hca, node.total_ib_bandwidth))
         return (num_nodes - 1) * node.ib_latency + nbytes / bw
 
     @staticmethod

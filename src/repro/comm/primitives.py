@@ -46,15 +46,20 @@ def _comm_span(name: str, ranks: Sequence[int], kind: TrafficKind, tag: str):
     )
 
 
+def _check_ranks(ranks: Sequence[int]) -> None:
+    """The group checks every collective shares: non-empty, no dups."""
+    if len(ranks) == 0:
+        raise ValueError("empty process group")
+    if len(set(ranks)) != len(ranks):
+        raise ValueError(f"duplicate ranks in group: {ranks}")
+
+
 def _check_group(buffers: Sequence[np.ndarray], ranks: Sequence[int]) -> None:
     if len(buffers) != len(ranks):
         raise ValueError(
             f"{len(buffers)} buffers for {len(ranks)} ranks -- must match"
         )
-    if len(ranks) == 0:
-        raise ValueError("empty process group")
-    if len(set(ranks)) != len(ranks):
-        raise ValueError(f"duplicate ranks in group: {ranks}")
+    _check_ranks(ranks)
     shape, dtype = buffers[0].shape, buffers[0].dtype
     for b in buffers[1:]:
         if b.shape != shape or b.dtype != dtype:
@@ -136,7 +141,7 @@ def all_gather(
 ) -> list[np.ndarray]:
     """Ring all-gather: every rank ends with the concatenation (along
     ``axis``) of all shards, in group-rank order."""
-    _check_group_like(shards, ranks)
+    _check_group_like(shards, ranks, axis)
     with _comm_span("all_gather", ranks, kind, tag):
         k = len(ranks)
         full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
@@ -188,6 +193,7 @@ def broadcast(
     tag: str = "",
 ) -> list[np.ndarray]:
     """Broadcast from ``root`` (a global rank in ``ranks``) to the group."""
+    _check_ranks(ranks)
     if root not in ranks:
         raise ValueError(f"root {root} not in group {ranks}")
     with _comm_span("broadcast", ranks, kind, tag):
@@ -218,12 +224,42 @@ def send(
         return np.asarray(buffer).copy()
 
 
-def _check_group_like(shards: Sequence[np.ndarray], ranks: Sequence[int]) -> None:
+def _check_group_like(
+    shards: Sequence[np.ndarray], ranks: Sequence[int], axis: int = 0
+) -> None:
+    """Group check for shard collectives (all_gather): shards may
+    differ along the concatenation ``axis`` but must agree on rank,
+    every other dimension, and dtype — validated up front so a bad
+    group fails with the same style of ValueError as ``_check_group``
+    instead of an opaque numpy concatenate error."""
     if len(shards) != len(ranks):
         raise ValueError(
             f"{len(shards)} shards for {len(ranks)} ranks -- must match"
         )
-    if len(ranks) == 0:
-        raise ValueError("empty process group")
-    if len(set(ranks)) != len(ranks):
-        raise ValueError(f"duplicate ranks in group: {ranks}")
+    _check_ranks(ranks)
+    first = np.asarray(shards[0])
+    if not -first.ndim <= axis < first.ndim:
+        raise ValueError(
+            f"axis {axis} out of bounds for shards of rank {first.ndim}"
+        )
+    ax = axis % first.ndim if first.ndim else 0
+    ref = list(first.shape)
+    for i, s in enumerate(shards[1:], start=1):
+        s = np.asarray(s)
+        if s.dtype != first.dtype:
+            raise ValueError(
+                f"all shards must share dtype: shard 0 is {first.dtype}, "
+                f"shard {i} is {s.dtype}"
+            )
+        if s.ndim != first.ndim:
+            raise ValueError(
+                f"all shards must share rank: shard 0 has {first.ndim} "
+                f"dims, shard {i} has {s.ndim}"
+            )
+        got = list(s.shape)
+        if ref[:ax] + ref[ax + 1:] != got[:ax] + got[ax + 1:]:
+            raise ValueError(
+                "shards must match on every non-concatenation axis: "
+                f"shard 0 has shape {tuple(ref)}, shard {i} has "
+                f"{tuple(got)} (concat axis {axis})"
+            )

@@ -25,6 +25,7 @@ from . import (
     fig17_recompute,
     fig18_scatter_gather,
     fused_ops,
+    goodput_interval,
     table1_weak_scaling,
     table2_zero3,
 )
@@ -52,6 +53,7 @@ REGISTRY = {
     "strong_scaling": strong_scaling.run,
     "what_if_h100": what_if_h100.run,
     "checkpoint_io": checkpoint_io.run,
+    "goodput_interval": goodput_interval.run,
 }
 
 

@@ -46,8 +46,17 @@ def checkpoint_size_bytes(config: GPTConfig) -> int:
 
 
 def shard_size_bytes(config: GPTConfig, parallel: ParallelConfig) -> int:
-    """Checkpoint bytes written by one model-parallel rank."""
-    return checkpoint_size_bytes(config) // parallel.model_parallel_size
+    """Checkpoint bytes written by one model-parallel rank.
+
+    Ceil division: when the checkpoint size does not divide evenly by
+    ``t * p``, some ranks carry one extra byte's worth of state — the
+    shard set must cover the whole checkpoint, so
+    ``shard * model_parallel_size >= checkpoint_size`` always, with
+    equality exactly when it divides.
+    """
+    size = checkpoint_size_bytes(config)
+    mp = parallel.model_parallel_size
+    return -(-size // mp)
 
 
 @dataclass(frozen=True)

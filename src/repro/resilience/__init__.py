@@ -1,0 +1,76 @@
+"""Fault injection, failure recovery, and goodput modelling.
+
+The production-robustness arm of the reproduction: the paper's §5.10
+prices checkpoint I/O because at 3072-GPU scale failures are routine,
+and MegaScale (Jiang et al., 2024) makes detect / restart-from-
+checkpoint / goodput the defining concern beyond raw PTD-P throughput.
+
+- :mod:`repro.resilience.faults` — declarative
+  :class:`~repro.resilience.faults.FaultPlan` (rank failures, link
+  degradation, stragglers) plus injectors into the discrete-event
+  simulator and the comm cost model;
+- :mod:`repro.resilience.detect` — heartbeat/timeout detection
+  latency;
+- :mod:`repro.resilience.recovery` — restart-from-last-checkpoint
+  policy priced by :mod:`repro.io_sim`, and the Young/Daly optimal
+  checkpoint interval;
+- :mod:`repro.resilience.goodput` — exact event-accounted
+  :class:`~repro.resilience.goodput.GoodputReport` for a run under a
+  failure trace (exported through :mod:`repro.obs`), the steady-state
+  expectation, and the checkpoint-interval sweep behind
+  ``python -m repro goodput``.
+"""
+
+from .detect import HeartbeatDetector
+from .faults import (
+    FaultPlan,
+    LinkDegradation,
+    RankFailure,
+    Straggler,
+    degrade_cost_model,
+    fault_regimes,
+    faulted_iteration_seconds,
+    options_with_faults,
+)
+from .goodput import (
+    ExpectedGoodput,
+    GoodputReport,
+    GoodputScenario,
+    SweepResult,
+    expected_goodput,
+    goodput_scenarios,
+    log_spaced_intervals,
+    simulate_goodput,
+    sweep_checkpoint_interval,
+)
+from .recovery import (
+    RecoveryEvent,
+    RestartPolicy,
+    cluster_mtbf,
+    young_daly_interval,
+)
+
+__all__ = [
+    "FaultPlan",
+    "RankFailure",
+    "LinkDegradation",
+    "Straggler",
+    "degrade_cost_model",
+    "options_with_faults",
+    "fault_regimes",
+    "faulted_iteration_seconds",
+    "HeartbeatDetector",
+    "RecoveryEvent",
+    "RestartPolicy",
+    "cluster_mtbf",
+    "young_daly_interval",
+    "GoodputReport",
+    "ExpectedGoodput",
+    "SweepResult",
+    "GoodputScenario",
+    "expected_goodput",
+    "simulate_goodput",
+    "sweep_checkpoint_interval",
+    "log_spaced_intervals",
+    "goodput_scenarios",
+]

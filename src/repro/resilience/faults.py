@@ -1,0 +1,277 @@
+"""Declarative fault plans and their injection hooks.
+
+At 3072-GPU scale failures are routine (the paper's §5.10 quantifies
+checkpoint I/O precisely because of them; MegaScale makes fault
+tolerance the headline production concern), so the repro must be able
+to *model* a run under faults, not only a healthy one.  This module is
+the declarative half: a :class:`FaultPlan` lists what goes wrong and
+when, in units of committed training iterations.
+
+Three fault species are modelled:
+
+- :class:`RankFailure` — a rank dies once global progress reaches
+  iteration ``at_iteration``; the job restarts from the last checkpoint
+  (handled by :mod:`repro.resilience.recovery` /
+  :mod:`repro.resilience.goodput`).
+- :class:`LinkDegradation` — the interconnect delivers only ``factor``
+  of its nominal bandwidth over an iteration window (a flapping IB
+  link, a congested spine).  Injected into the
+  :class:`~repro.comm.cost_model.CommCostModel` via its
+  ``bandwidth_derate`` knob.
+- :class:`Straggler` — one rank computes ``slowdown`` x slower over a
+  window (thermal throttling, a sick HBM stack).  Training is
+  synchronous, so the slowest rank paces every iteration: the
+  simulator applies the multiplier to compute (and optimizer) time via
+  ``SimOptions.compute_slowdown``.
+
+The injectors at the bottom translate the plan into the knobs the
+discrete-event simulator and the comm cost model already expose, so a
+faulted iteration is priced by exactly the same machinery as a healthy
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.comm.cost_model import CommCostModel
+    from repro.config import GPTConfig, ParallelConfig
+    from repro.sim.trainer_sim import SimOptions
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """A rank dies when committed progress reaches ``at_iteration``.
+
+    ``at_iteration`` counts *committed* iterations: the failure strikes
+    after that many iterations of useful work exist, before the next
+    one runs (and after any checkpoint scheduled at the same boundary
+    has been written).  Any rank death forces a full-job restart — the
+    synchronous PTD-P job cannot continue around a hole — so ``rank``
+    is informational (it labels the trace span).
+    """
+
+    at_iteration: int
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_iteration < 0:
+            raise ValueError(
+                f"at_iteration must be >= 0, got {self.at_iteration}"
+            )
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Interconnect bandwidth drops to ``factor`` of nominal over
+    ``[start_iteration, end_iteration)`` (``end_iteration=None`` means
+    for the rest of the run)."""
+
+    factor: float
+    start_iteration: int = 0
+    end_iteration: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+        _check_window(self.start_iteration, self.end_iteration)
+
+    def active_at(self, iteration: int) -> bool:
+        return _in_window(iteration, self.start_iteration, self.end_iteration)
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One rank computes ``slowdown`` x slower over the window."""
+
+    slowdown: float
+    rank: int = 0
+    start_iteration: int = 0
+    end_iteration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1:
+            raise ValueError(
+                f"slowdown must be >= 1, got {self.slowdown}"
+            )
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        _check_window(self.start_iteration, self.end_iteration)
+
+    def active_at(self, iteration: int) -> bool:
+        return _in_window(iteration, self.start_iteration, self.end_iteration)
+
+
+def _check_window(start: int, end: int | None) -> None:
+    if start < 0:
+        raise ValueError(f"start_iteration must be >= 0, got {start}")
+    if end is not None and end <= start:
+        raise ValueError(
+            f"end_iteration ({end}) must be > start_iteration ({start})"
+        )
+
+
+def _in_window(iteration: int, start: int, end: int | None) -> bool:
+    return iteration >= start and (end is None or iteration < end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong during one modelled training run.
+
+    Failures are kept sorted by ``at_iteration`` (the goodput simulator
+    consumes them in progress order); degradations and stragglers are
+    window queries.
+    """
+
+    failures: tuple[RankFailure, ...] = ()
+    degradations: tuple[LinkDegradation, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "failures",
+            tuple(sorted(self.failures, key=lambda f: f.at_iteration)),
+        )
+        object.__setattr__(self, "degradations", tuple(self.degradations))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+
+    # -- queries -----------------------------------------------------------
+    def bandwidth_factor(self, iteration: int) -> float:
+        """Combined bandwidth factor at ``iteration`` (degradations on
+        independent links compound multiplicatively)."""
+        factor = 1.0
+        for d in self.degradations:
+            if d.active_at(iteration):
+                factor *= d.factor
+        return factor
+
+    def compute_slowdown(self, iteration: int) -> float:
+        """Effective compute slowdown at ``iteration``.
+
+        Training is synchronous, so the *slowest* straggler paces the
+        whole job: take the max, not the product.
+        """
+        active = [
+            s.slowdown for s in self.stragglers if s.active_at(iteration)
+        ]
+        return max(active, default=1.0)
+
+    def failure_iterations(self) -> tuple[int, ...]:
+        return tuple(f.at_iteration for f in self.failures)
+
+    @property
+    def is_healthy(self) -> bool:
+        return not (self.failures or self.degradations or self.stragglers)
+
+
+# -- injectors --------------------------------------------------------------
+
+def degrade_cost_model(comm: "CommCostModel", factor: float) -> "CommCostModel":
+    """A copy of ``comm`` with its bandwidth derated by ``factor``.
+
+    Composes with any derate already present (a plan-level degradation
+    on top of a baseline 0.9-efficiency model multiplies, it does not
+    overwrite).
+    """
+    if not 0 < factor <= 1:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+    return replace(comm, bandwidth_derate=comm.bandwidth_derate * factor)
+
+
+def options_with_faults(
+    options: "SimOptions", plan: FaultPlan, iteration: int
+) -> "SimOptions":
+    """Simulator options for one iteration under ``plan``.
+
+    Folds the plan's active bandwidth factor and straggler slowdown
+    into ``options`` (multiplying, so caller-supplied derates compose).
+    """
+    return replace(
+        options,
+        bandwidth_derate=(
+            options.bandwidth_derate * plan.bandwidth_factor(iteration)
+        ),
+        compute_slowdown=(
+            options.compute_slowdown * plan.compute_slowdown(iteration)
+        ),
+    )
+
+
+def fault_regimes(
+    plan: FaultPlan, total_iterations: int
+) -> list[tuple[int, int, float, float]]:
+    """Partition ``[0, total_iterations)`` into maximal constant-fault
+    segments ``(start, end, compute_slowdown, bandwidth_factor)``.
+
+    The goodput pipeline prices one simulated iteration per distinct
+    ``(slowdown, factor)`` pair instead of one per iteration, which is
+    what makes plan-driven pricing affordable for multi-thousand-
+    iteration runs.
+    """
+    if total_iterations < 1:
+        raise ValueError(
+            f"total_iterations must be >= 1, got {total_iterations}"
+        )
+    boundaries = {0, total_iterations}
+    for w in (*plan.degradations, *plan.stragglers):
+        if w.start_iteration < total_iterations:
+            boundaries.add(w.start_iteration)
+        if w.end_iteration is not None and w.end_iteration < total_iterations:
+            boundaries.add(w.end_iteration)
+    edges = sorted(boundaries)
+    segments = []
+    for start, end in zip(edges, edges[1:]):
+        segments.append(
+            (
+                start,
+                end,
+                plan.compute_slowdown(start),
+                plan.bandwidth_factor(start),
+            )
+        )
+    return segments
+
+
+def faulted_iteration_seconds(
+    model: "GPTConfig",
+    parallel: "ParallelConfig",
+    plan: FaultPlan,
+    total_iterations: int,
+    *,
+    options: "SimOptions | None" = None,
+    node=None,
+    topology=None,
+) -> list[float]:
+    """Per-iteration durations for a run of ``total_iterations`` under
+    ``plan``, priced by the discrete-event simulator.
+
+    One :func:`~repro.sim.simulate_iteration` call per distinct fault
+    regime (cached by ``(slowdown, factor)``), expanded to a flat
+    per-iteration list the goodput simulator can index by progress.
+    """
+    from repro.sim.trainer_sim import SimOptions, simulate_iteration
+
+    options = options or SimOptions()
+    times = [0.0] * total_iterations
+    cache: dict[tuple[float, float], float] = {}
+    for start, end, slowdown, factor in fault_regimes(plan, total_iterations):
+        key = (
+            options.compute_slowdown * slowdown,
+            options.bandwidth_derate * factor,
+        )
+        if key not in cache:
+            opts = replace(
+                options, compute_slowdown=key[0], bandwidth_derate=key[1]
+            )
+            cache[key] = simulate_iteration(
+                model, parallel, options=opts, node=node, topology=topology
+            ).iteration_time
+        for i in range(start, end):
+            times[i] = cache[key]
+    return times

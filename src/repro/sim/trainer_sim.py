@@ -75,7 +75,15 @@ class SimTimedOp(TimedOp):
 
 @dataclass(frozen=True)
 class SimOptions:
-    """Simulation switches (the paper's implementation options)."""
+    """Simulation switches (the paper's implementation options).
+
+    ``compute_slowdown`` and ``bandwidth_derate`` are the fault-
+    injection hooks used by :mod:`repro.resilience.faults`: training is
+    synchronous, so a straggling rank paces every iteration — the
+    slowdown multiplies compute and optimizer time (communication is
+    priced separately, and degraded links are ``bandwidth_derate``'s
+    job, applied to every bandwidth term of the comm cost model).
+    """
 
     schedule_name: str = "1f1b"
     fused_kernels: bool = True
@@ -86,6 +94,18 @@ class SimOptions:
     overlap_p2p: bool = False  # paper: sends/recvs in parallel w/ compute
     tp_channels: int = 2  # NCCL channels for per-layer TP collectives
     collect_timeline: bool = False  # keep per-op SimTimedOp windows
+    compute_slowdown: float = 1.0  # straggler multiplier (>= 1)
+    bandwidth_derate: float = 1.0  # link health factor in (0, 1]
+
+    def __post_init__(self) -> None:
+        if self.compute_slowdown < 1:
+            raise ValueError(
+                f"compute_slowdown must be >= 1, got {self.compute_slowdown}"
+            )
+        if not 0 < self.bandwidth_derate <= 1:
+            raise ValueError(
+                f"bandwidth_derate must be in (0, 1], got {self.bandwidth_derate}"
+            )
 
 
 @dataclass
@@ -151,7 +171,7 @@ def simulate_iteration(
     n = parallel.world_size
     topo = topology or cluster_for_gpus(max(n, 1), node)
     compute = ComputeModel(device=node.device)
-    comm = CommCostModel(topo)
+    comm = CommCostModel(topo, bandwidth_derate=options.bandwidth_derate)
     groups = ProcessGroups(parallel)
 
     p, t, d, v = parallel.p, parallel.t, parallel.d, parallel.v
@@ -193,8 +213,8 @@ def simulate_iteration(
         f_tp = 2 * layers_per_stage * tp_ar_time
         bwd_ars = 2 + (2 if options.recompute_activations else 0)
         b_tp = bwd_ars * layers_per_stage * tp_ar_time
-        fwd_dur[g] = cost.forward + f_tp
-        bwd_dur[g] = cost.backward + b_tp
+        fwd_dur[g] = cost.forward * options.compute_slowdown + f_tp
+        bwd_dur[g] = cost.backward * options.compute_slowdown + b_tp
         fwd_tp[g] = f_tp
         bwd_tp[g] = b_tp
 
@@ -304,7 +324,10 @@ def simulate_iteration(
         )
 
     # -- optimizer step: memory-bound pass over the model state -------------
-    opt_time = compute.memory_time(params_rank * MODEL_STATE_BYTES_PER_PARAM)
+    opt_time = (
+        compute.memory_time(params_rank * MODEL_STATE_BYTES_PER_PARAM)
+        * options.compute_slowdown
+    )
 
     tp_comm_total = sum(
         m * (fwd_tp[g] + bwd_tp[g]) for g in range(total_stages)

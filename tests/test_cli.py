@@ -43,6 +43,11 @@ class TestSuggest:
         out = capsys.readouterr().out
         assert "suggested" in out and "fits=True" in out
 
+    def test_invalid_config_reports_error(self, capsys):
+        rc = main(["suggest", *MODEL, "--gpus", "0", "--batch", "32"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestAutotune:
     def test_basic(self, capsys):
@@ -51,6 +56,11 @@ class TestAutotune:
         assert rc == 0
         out = capsys.readouterr().out
         assert "1." in out and "2." in out
+
+    def test_invalid_config_reports_error(self, capsys):
+        rc = main(["autotune", *MODEL, "--gpus", "0", "--batch", "8"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestSchedule:
@@ -64,6 +74,7 @@ class TestSchedule:
     def test_invalid_schedule_params(self, capsys):
         rc = main(["schedule", "interleaved", "-p", "4", "-m", "6"])
         assert rc == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestTrace:
@@ -95,6 +106,39 @@ class TestTrace:
             "trace", *MODEL, "-p", "3", "--batch", "8",
             "--out", str(tmp_path / "t.json"),
         ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+GOODPUT_FAST = ["goodput", "--preset", "175b", "--points", "5",
+                "--failures", "10,25", "--iterations", "40"]
+
+
+class TestGoodput:
+    def test_sweep_and_replay(self, capsys):
+        rc = main(GOODPUT_FAST)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Young/Daly" in out
+        assert "within one sweep step: True" in out
+        assert "goodput=" in out and "2 failures" in out
+
+    def test_trace_out_spans_match_report(self, tmp_path, capsys):
+        out = tmp_path / "goodput_trace.json"
+        rc = main([*GOODPUT_FAST, "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "match=True" in capsys.readouterr().out
+
+    def test_invalid_mtbf_reports_error(self, capsys):
+        rc = main([*GOODPUT_FAST, "--node-mtbf-hours", "0"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_sweep_reports_error(self, capsys):
+        # min >= max makes the interval grid unconstructible.
+        rc = main([*GOODPUT_FAST, "--min-interval", "100",
+                   "--max-interval", "50"])
         assert rc == 2
         assert "error" in capsys.readouterr().err
 

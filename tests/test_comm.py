@@ -103,6 +103,41 @@ class TestAllGatherReduceScatter:
         with pytest.raises(ValueError, match="divisible"):
             reduce_scatter([np.zeros((3, 2))] * 2, ranks=[0, 1])
 
+    def test_all_gather_ragged_concat_axis_ok(self):
+        # Shards may differ along the concatenation axis.
+        shards = [np.zeros((n, 3)) for n in (1, 4, 2)]
+        out = all_gather(shards, ranks=[0, 1, 2])
+        assert out[0].shape == (7, 3)
+
+    def test_all_gather_rejects_mismatched_other_axes(self):
+        with pytest.raises(ValueError, match="non-concatenation axis"):
+            all_gather([np.zeros((2, 3)), np.zeros((2, 4))], ranks=[0, 1])
+        # Same shapes are fine on the concat axis only.
+        with pytest.raises(ValueError, match="non-concatenation axis"):
+            all_gather(
+                [np.zeros((2, 3)), np.zeros((4, 3))], ranks=[0, 1], axis=1
+            )
+
+    def test_all_gather_rejects_mismatched_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            all_gather(
+                [np.zeros(2, dtype=np.float32), np.zeros(2)], ranks=[0, 1]
+            )
+
+    def test_all_gather_rejects_mismatched_ndim(self):
+        with pytest.raises(ValueError, match="share rank"):
+            all_gather([np.zeros(2), np.zeros((2, 1))], ranks=[0, 1])
+
+    def test_all_gather_rejects_bad_axis(self):
+        with pytest.raises(ValueError, match="axis 2 out of bounds"):
+            all_gather([np.zeros((2, 3))] * 2, ranks=[0, 1], axis=2)
+
+    def test_all_gather_rejects_bad_group(self):
+        with pytest.raises(ValueError, match="empty"):
+            all_gather([], ranks=[])
+        with pytest.raises(ValueError, match="duplicate"):
+            all_gather([np.zeros(2), np.zeros(2)], ranks=[1, 1])
+
     def test_allreduce_equals_rs_plus_ag(self):
         """all_reduce == reduce_scatter -> all_gather (ZeRO's identity)."""
         r = rng()
@@ -123,6 +158,14 @@ class TestBroadcastSend:
     def test_broadcast_requires_root_in_group(self):
         with pytest.raises(ValueError, match="root"):
             broadcast(np.zeros(2), root=9, ranks=[0, 1])
+
+    def test_broadcast_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="empty"):
+            broadcast(np.zeros(2), root=0, ranks=[])
+
+    def test_broadcast_rejects_duplicate_ranks(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            broadcast(np.zeros(2), root=0, ranks=[0, 1, 0])
 
     def test_send_copies_and_logs(self):
         log = TrafficLog()

@@ -49,7 +49,7 @@ class TestReportContainer:
         assert "x: t" in txt and "1.235" in txt
 
     def test_registry_complete(self):
-        assert len(REGISTRY) == 21
+        assert len(REGISTRY) == 22
 
 
 class TestFig01:
@@ -281,6 +281,25 @@ class TestCheckpointIO:
         assert by["load bandwidth (GB/s)"] == pytest.approx(1000, rel=0.05)
         assert by["save bandwidth (GB/s)"] == pytest.approx(273, rel=0.05)
         assert by["load time (s)"] > 0 and by["save time (s)"] > 0
+
+
+class TestGoodputInterval:
+    def test_sweep_shape(self):
+        from repro.experiments import goodput_interval
+
+        r = goodput_interval.run()
+        assert len(r.rows) == goodput_interval.SWEEP_POINTS
+        goodputs = r.column("goodput")
+        # U-shaped overhead: the optimum is interior and unique.
+        assert r.column("optimum").count("<--") == 1
+        best = r.column("optimum").index("<--")
+        assert 0 < best < len(goodputs) - 1
+        assert max(goodputs) == goodputs[best]
+        # Monotone up to the optimum, monotone down after it.
+        assert all(a <= b for a, b in zip(goodputs[:best], goodputs[1:best + 1]))
+        assert all(a >= b for a, b in zip(goodputs[best:], goodputs[best + 1:]))
+        assert "within one step: True" in r.notes
+        assert "WARNING" not in r.notes
 
 
 class TestRunAll:

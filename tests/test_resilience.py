@@ -1,0 +1,417 @@
+"""Tests for the fault-injection / recovery / goodput subsystem."""
+
+import math
+
+import pytest
+
+from repro.config import ParallelConfig, tiny_test_model
+from repro.obs import chrome_trace, trace, validate_chrome_trace
+from repro.resilience import (
+    FaultPlan,
+    GoodputScenario,
+    HeartbeatDetector,
+    LinkDegradation,
+    RankFailure,
+    RestartPolicy,
+    Straggler,
+    cluster_mtbf,
+    degrade_cost_model,
+    expected_goodput,
+    fault_regimes,
+    faulted_iteration_seconds,
+    goodput_scenarios,
+    log_spaced_intervals,
+    options_with_faults,
+    simulate_goodput,
+    sweep_checkpoint_interval,
+    young_daly_interval,
+)
+from repro.sim import SimOptions, simulate_iteration
+
+
+def tiny_parallel(p=2):
+    return ParallelConfig(
+        pipeline_parallel_size=p, tensor_parallel_size=1,
+        data_parallel_size=1, microbatch_size=1, global_batch_size=4,
+    )
+
+
+class TestFaultPlan:
+    def test_failures_sorted(self):
+        plan = FaultPlan(failures=(
+            RankFailure(at_iteration=9), RankFailure(at_iteration=2),
+        ))
+        assert plan.failure_iterations() == (2, 9)
+
+    def test_healthy(self):
+        assert FaultPlan().is_healthy
+        assert not FaultPlan(failures=(RankFailure(at_iteration=1),)).is_healthy
+
+    def test_degradations_compound_multiplicatively(self):
+        plan = FaultPlan(degradations=(
+            LinkDegradation(factor=0.5, start_iteration=0),
+            LinkDegradation(factor=0.5, start_iteration=10, end_iteration=20),
+        ))
+        assert plan.bandwidth_factor(5) == 0.5
+        assert plan.bandwidth_factor(10) == 0.25
+        assert plan.bandwidth_factor(25) == 0.5
+
+    def test_slowest_straggler_paces(self):
+        plan = FaultPlan(stragglers=(
+            Straggler(slowdown=1.5, rank=0),
+            Straggler(slowdown=2.0, rank=1, end_iteration=5),
+        ))
+        assert plan.compute_slowdown(0) == 2.0  # max, not product
+        assert plan.compute_slowdown(5) == 1.5
+        assert FaultPlan().compute_slowdown(0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at_iteration"):
+            RankFailure(at_iteration=-1)
+        with pytest.raises(ValueError, match="factor"):
+            LinkDegradation(factor=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            LinkDegradation(factor=1.5)
+        with pytest.raises(ValueError, match="slowdown"):
+            Straggler(slowdown=0.9)
+        with pytest.raises(ValueError, match="end_iteration"):
+            Straggler(slowdown=2.0, start_iteration=5, end_iteration=5)
+
+    def test_fault_regimes_partition(self):
+        plan = FaultPlan(
+            degradations=(
+                LinkDegradation(factor=0.5, start_iteration=3,
+                                end_iteration=6),
+            ),
+            stragglers=(Straggler(slowdown=2.0, start_iteration=5),),
+        )
+        segs = fault_regimes(plan, 10)
+        # Segments tile [0, 10) exactly.
+        assert segs[0][0] == 0 and segs[-1][1] == 10
+        for (_, e1, _, _), (s2, _, _, _) in zip(segs, segs[1:]):
+            assert e1 == s2
+        by_start = {s: (slow, bw) for s, _, slow, bw in segs}
+        assert by_start[0] == (1.0, 1.0)
+        assert by_start[3] == (1.0, 0.5)
+        assert by_start[5] == (2.0, 0.5)
+        assert by_start[6] == (2.0, 1.0)
+
+
+class TestDetector:
+    def test_expected_latency(self):
+        d = HeartbeatDetector(heartbeat_interval=10.0, missed_heartbeats=3,
+                              notification_latency=1.0)
+        assert d.expected_latency() == 26.0
+        assert d.worst_case_latency() == 31.0
+        assert d.expected_latency() < d.worst_case_latency()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            HeartbeatDetector(heartbeat_interval=0)
+        with pytest.raises(ValueError, match="missed_heartbeats"):
+            HeartbeatDetector(missed_heartbeats=0)
+        with pytest.raises(ValueError, match="notification_latency"):
+            HeartbeatDetector(notification_latency=-1)
+
+
+class TestRecovery:
+    def test_cluster_mtbf(self):
+        assert cluster_mtbf(3600.0, 1) == 3600.0
+        assert cluster_mtbf(3600.0, 360) == 10.0
+        with pytest.raises(ValueError):
+            cluster_mtbf(0.0, 4)
+        with pytest.raises(ValueError):
+            cluster_mtbf(3600.0, 0)
+
+    def test_young_daly(self):
+        # c* = sqrt(2 * save * MTBF): save=50s, MTBF=10000s -> 1000s.
+        assert young_daly_interval(10_000.0, 50.0) == 1000.0
+        with pytest.raises(ValueError):
+            young_daly_interval(-1.0, 50.0)
+        with pytest.raises(ValueError):
+            young_daly_interval(10.0, 0.0)
+
+    def test_young_daly_minimizes_expected_overhead(self):
+        mtbf, save = 46_875.0, 51.7
+        c_star = young_daly_interval(mtbf, save)
+        best = expected_goodput(
+            c_star, mtbf_seconds=mtbf, save_seconds=save, load_seconds=80.0
+        )
+        for c in (c_star * 0.7, c_star * 1.4):
+            other = expected_goodput(
+                c, mtbf_seconds=mtbf, save_seconds=save, load_seconds=80.0
+            )
+            assert best.goodput > other.goodput
+
+    def test_policy_validation_and_io_pricing(self):
+        with pytest.raises(ValueError, match="save_seconds"):
+            RestartPolicy(save_seconds=0.0, load_seconds=1.0)
+        with pytest.raises(ValueError, match="load_seconds"):
+            RestartPolicy(save_seconds=1.0, load_seconds=-1.0)
+        scenario = goodput_scenarios()["1t"]
+        policy = RestartPolicy.from_io_model(
+            scenario.model, scenario.parallel, scenario.num_nodes
+        )
+        # §5.10: 13.8 TB / 273 GB/s write ~ 50 s; all-replica load at
+        # the 1 TB/s read peak ~ 83 s.
+        assert policy.save_seconds == pytest.approx(50.6, rel=0.05)
+        assert policy.load_seconds == pytest.approx(83.0, rel=0.05)
+        assert policy.optimal_interval_seconds(46_875.0) == pytest.approx(
+            math.sqrt(2 * policy.save_seconds * 46_875.0)
+        )
+
+
+class TestGoodputSimulation:
+    def test_healthy_run(self):
+        report = simulate_goodput(
+            2.0, 10, 4, RestartPolicy(save_seconds=3.0, load_seconds=5.0)
+        )
+        assert report.useful_seconds == 20.0
+        assert report.num_checkpoints == 2  # at 4 and 8; none at the end
+        assert report.checkpoint_seconds == 6.0
+        assert report.detection_seconds == 0.0
+        assert report.load_seconds == 0.0
+        assert report.lost_work_seconds == 0.0
+        assert report.wall_clock_seconds == 26.0
+        assert report.goodput == pytest.approx(20.0 / 26.0)
+        assert report.num_failures == 0
+
+    def test_two_failure_scenario_exact(self):
+        """Hand-computed wall-clock: train + detect + load + recompute.
+
+        10 iterations of 2 s, checkpoints every 4 (saves of 3 s at
+        iterations 4 and 8), detector (6 s interval, 2 missed, 1 s
+        notify) -> expected latency (2 - 0.5)*6 + 1 = 10 s exactly;
+        load 5 s.  Failure at 6 loses iterations 5-6 (4 s); failure at
+        9 loses iteration 9 (2 s).
+        """
+        detector = HeartbeatDetector(heartbeat_interval=6.0,
+                                     missed_heartbeats=2,
+                                     notification_latency=1.0)
+        policy = RestartPolicy(save_seconds=3.0, load_seconds=5.0,
+                               detector=detector)
+        plan = FaultPlan(failures=(
+            RankFailure(at_iteration=6, rank=3),
+            RankFailure(at_iteration=9, rank=7),
+        ))
+        report = simulate_goodput(2.0, 10, 4, policy, plan)
+        assert report.useful_seconds == 20.0  # 10 iterations, once each
+        assert report.checkpoint_seconds == 6.0  # saves at 4 and 8
+        assert report.detection_seconds == 20.0  # 2 failures x 10 s
+        assert report.load_seconds == 10.0  # 2 x 5 s
+        assert report.lost_work_seconds == 6.0  # 4 s + 2 s re-run
+        assert report.wall_clock_seconds == 62.0
+        assert report.goodput == pytest.approx(20.0 / 62.0)
+        e1, e2 = report.events
+        assert (e1.at_iteration, e1.rank, e1.lost_iterations) == (6, 3, 2)
+        assert e1.lost_work_seconds == 4.0
+        assert e1.total_overhead_seconds == 19.0
+        assert (e2.at_iteration, e2.rank, e2.lost_iterations) == (9, 7, 1)
+        assert e2.lost_work_seconds == 2.0
+
+    def test_failure_at_checkpoint_boundary_loses_nothing(self):
+        policy = RestartPolicy(
+            save_seconds=3.0, load_seconds=5.0,
+            detector=HeartbeatDetector(heartbeat_interval=2.0,
+                                       missed_heartbeats=1,
+                                       notification_latency=0.0),
+        )
+        plan = FaultPlan(failures=(RankFailure(at_iteration=4),))
+        report = simulate_goodput(2.0, 10, 4, policy, plan)
+        # Checkpoint at 4 is written before the failure strikes.
+        assert report.lost_work_seconds == 0.0
+        assert report.events[0].lost_iterations == 0
+
+    def test_failure_past_end_never_strikes(self):
+        policy = RestartPolicy(save_seconds=3.0, load_seconds=5.0)
+        plan = FaultPlan(failures=(RankFailure(at_iteration=10),))
+        report = simulate_goodput(2.0, 10, 4, policy, plan)
+        assert report.num_failures == 0
+
+    def test_per_iteration_durations(self):
+        policy = RestartPolicy(save_seconds=1.0, load_seconds=1.0)
+        times = [1.0, 2.0, 4.0]
+        report = simulate_goodput(times, 3, 10, policy)
+        assert report.useful_seconds == 7.0
+        assert report.num_checkpoints == 0
+        with pytest.raises(ValueError, match="must match"):
+            simulate_goodput([1.0, 2.0], 3, 10, policy)
+
+    def test_validation(self):
+        policy = RestartPolicy(save_seconds=1.0, load_seconds=1.0)
+        with pytest.raises(ValueError, match="total_iterations"):
+            simulate_goodput(1.0, 0, 1, policy)
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            simulate_goodput(1.0, 5, 0, policy)
+        with pytest.raises(ValueError, match="iteration_seconds"):
+            simulate_goodput(0.0, 5, 1, policy)
+
+    def test_traced_run_spans_match_report_exactly(self):
+        detector = HeartbeatDetector(heartbeat_interval=6.0,
+                                     missed_heartbeats=2,
+                                     notification_latency=1.0)
+        policy = RestartPolicy(save_seconds=3.0, load_seconds=5.0,
+                               detector=detector)
+        plan = FaultPlan(failures=(
+            RankFailure(at_iteration=6), RankFailure(at_iteration=9),
+        ))
+        # Awkward float iteration time so exactness is a real claim.
+        with trace() as tracer:
+            report = simulate_goodput(1.0 / 3.0, 10, 4, policy, plan)
+        for phase, want in (
+            ("resilience.checkpoint", report.checkpoint_seconds),
+            ("resilience.detect", report.detection_seconds),
+            ("resilience.load", report.load_seconds),
+            ("resilience.lost-work", report.lost_work_seconds),
+        ):
+            assert tracer.counter_total("seconds", phase=phase) == want
+        # Span geometry tiles the wall clock (up to float rounding).
+        run = tracer.spans_by_phase("resilience.run")[0]
+        assert run.duration == pytest.approx(report.wall_clock_seconds)
+        # The remaining spans tile the wall clock (lost-work spans
+        # annotate re-run windows the train spans already cover).
+        total_spanned = sum(
+            s.duration for s in tracer.spans
+            if s.phase not in ("resilience.run", "resilience.lost-work")
+        )
+        assert total_spanned == pytest.approx(report.wall_clock_seconds)
+        # Metrics mirror the report.
+        assert tracer.metrics.counter("resilience.failures").value == 2
+        assert tracer.metrics.counter("resilience.checkpoints").value == 2
+        assert tracer.metrics.gauge("resilience.goodput").value == \
+            report.goodput
+        validate_chrome_trace(chrome_trace(tracer))
+
+    def test_untraced_equals_traced(self):
+        policy = RestartPolicy(save_seconds=3.0, load_seconds=5.0)
+        plan = FaultPlan(failures=(RankFailure(at_iteration=6),))
+        bare = simulate_goodput(2.0, 10, 4, policy, plan)
+        with trace():
+            traced = simulate_goodput(2.0, 10, 4, policy, plan)
+        assert bare == traced
+
+
+class TestExpectedGoodputSweep:
+    def test_sweep_agrees_with_young_daly(self):
+        mtbf, save = 46_875.0, 51.7
+        sweep = sweep_checkpoint_interval(
+            log_spaced_intervals(2 * save, mtbf, 25),
+            mtbf_seconds=mtbf, save_seconds=save, load_seconds=84.7,
+            detection_seconds=26.0,
+        )
+        assert sweep.analytic_interval_seconds == pytest.approx(
+            young_daly_interval(mtbf, save)
+        )
+        assert sweep.agrees_within_one_step
+        assert sweep.is_interior
+
+    def test_detect_load_do_not_shift_argmin(self):
+        # The detect+load term is interval-independent: same argmax
+        # index with or without it.
+        mtbf, save = 10_000.0, 20.0
+        grid = log_spaced_intervals(2 * save, mtbf, 31)
+        with_io = sweep_checkpoint_interval(
+            grid, mtbf_seconds=mtbf, save_seconds=save,
+            load_seconds=500.0, detection_seconds=100.0,
+        )
+        without = sweep_checkpoint_interval(
+            grid, mtbf_seconds=mtbf, save_seconds=save, load_seconds=0.0
+        )
+        assert with_io.best_index == without.best_index
+        assert with_io.best.goodput < without.best.goodput
+
+    def test_log_spaced_intervals(self):
+        grid = log_spaced_intervals(10.0, 1000.0, 3)
+        assert grid[0] == pytest.approx(10.0)
+        assert grid[1] == pytest.approx(100.0)
+        assert grid[2] == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            log_spaced_intervals(10.0, 5.0, 3)
+        with pytest.raises(ValueError):
+            log_spaced_intervals(10.0, 100.0, 1)
+
+    def test_scenarios(self):
+        scenarios = goodput_scenarios()
+        assert set(scenarios) == {"1t", "530b", "175b"}
+        one_t = scenarios["1t"]
+        assert one_t.num_nodes == 384
+        assert one_t.parallel.world_size == 3072
+        assert one_t.cluster_mtbf_seconds == pytest.approx(
+            5000.0 * 3600.0 / 384
+        )
+        with pytest.raises(ValueError, match="num_nodes"):
+            GoodputScenario(name="bad", num_nodes=0)
+        with pytest.raises(ValueError, match="node_mtbf_hours"):
+            GoodputScenario(name="bad", node_mtbf_hours=0.0)
+
+
+class TestSimFaultHooks:
+    def test_straggler_slows_iteration(self):
+        model = tiny_test_model()
+        par = tiny_parallel()
+        base = simulate_iteration(model, par, options=SimOptions())
+        slow = simulate_iteration(
+            model, par, options=SimOptions(compute_slowdown=2.0)
+        )
+        assert slow.iteration_time > base.iteration_time
+
+    def test_bandwidth_derate_slows_iteration(self):
+        model = tiny_test_model()
+        par = tiny_parallel()
+        base = simulate_iteration(model, par, options=SimOptions())
+        degraded = simulate_iteration(
+            model, par, options=SimOptions(bandwidth_derate=0.25)
+        )
+        assert degraded.iteration_time > base.iteration_time
+        neutral = simulate_iteration(
+            model, par, options=SimOptions(bandwidth_derate=1.0)
+        )
+        assert neutral.iteration_time == base.iteration_time
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="compute_slowdown"):
+            SimOptions(compute_slowdown=0.5)
+        with pytest.raises(ValueError, match="bandwidth_derate"):
+            SimOptions(bandwidth_derate=0.0)
+        with pytest.raises(ValueError, match="bandwidth_derate"):
+            SimOptions(bandwidth_derate=1.5)
+
+    def test_degrade_cost_model_composes(self):
+        from repro.comm.cost_model import CommCostModel
+        from repro.hardware import ClusterTopology
+
+        comm = CommCostModel(ClusterTopology(num_nodes=2))
+        once = degrade_cost_model(comm, 0.5)
+        twice = degrade_cost_model(once, 0.5)
+        assert once.bandwidth_derate == 0.5
+        assert twice.bandwidth_derate == 0.25
+        with pytest.raises(ValueError, match="factor"):
+            degrade_cost_model(comm, 0.0)
+
+    def test_options_with_faults_folds_plan(self):
+        plan = FaultPlan(
+            degradations=(LinkDegradation(factor=0.5),),
+            stragglers=(Straggler(slowdown=3.0, end_iteration=4),),
+        )
+        opts = options_with_faults(SimOptions(), plan, iteration=2)
+        assert opts.bandwidth_derate == 0.5
+        assert opts.compute_slowdown == 3.0
+        after = options_with_faults(SimOptions(), plan, iteration=7)
+        assert after.compute_slowdown == 1.0
+
+    def test_faulted_iteration_seconds(self):
+        model = tiny_test_model()
+        par = tiny_parallel()
+        plan = FaultPlan(
+            stragglers=(
+                Straggler(slowdown=2.0, start_iteration=2, end_iteration=4),
+            )
+        )
+        times = faulted_iteration_seconds(model, par, plan, 6)
+        assert len(times) == 6
+        assert times[0] == times[1] == times[4] == times[5]
+        assert times[2] == times[3] > times[0]
+        # Healthy plan: flat, equal to the plain simulation.
+        healthy = faulted_iteration_seconds(model, par, FaultPlan(), 3)
+        base = simulate_iteration(model, par).iteration_time
+        assert healthy == [base] * 3
