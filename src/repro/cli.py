@@ -16,6 +16,10 @@ Subcommands:
   cluster, report the optimum vs. the analytic Young/Daly interval,
   and replay a failure trace through the goodput simulator
   (:mod:`repro.resilience`);
+- ``verify``    — run the correctness-verification suite: schedule
+  validator, collective sanitizer, cross-parallelism conformance, and
+  traffic/FLOP conservation; exits 1 on violations
+  (:mod:`repro.verify`);
 - ``experiments`` — alias for ``python -m repro.experiments``.
 
 Configuration errors (bad model shapes, infeasible parallel configs,
@@ -289,6 +293,28 @@ def _cmd_goodput(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import parse_case
+    from repro.verify.runner import INJECT_MODES, run_verification
+
+    schedule_json = None
+    if args.schedule_json is not None:
+        with open(args.schedule_json, "r", encoding="utf-8") as fh:
+            schedule_json = fh.read()
+    case = parse_case(args.case) if args.case else None
+    report = run_verification(
+        fast=args.fast,
+        num_cases=args.configs,
+        seed=args.seed,
+        schedule_json=schedule_json,
+        inject=args.inject,
+        case=case,
+        only=args.only,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -380,6 +406,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_good.add_argument("--out", default=None,
                         help="write a Chrome trace of the replayed run")
     p_good.set_defaults(func=_cmd_goodput)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="run the correctness-verification suite (exit 1 on violations)",
+    )
+    p_ver.add_argument(
+        "--fast", action="store_true",
+        help="reduced grids: 4 schedule configs, 6 conformance cases",
+    )
+    p_ver.add_argument(
+        "--configs", type=int, default=None,
+        help="number of sampled conformance configurations "
+             "(default 25, or 6 with --fast)",
+    )
+    p_ver.add_argument("--seed", type=int, default=0,
+                       help="seed for configuration sampling")
+    p_ver.add_argument(
+        "--schedule-json", default=None,
+        help="also validate a schedule fixture (JSON, see "
+             "repro.verify.schedule_to_json)",
+    )
+    p_ver.add_argument(
+        "--only", default=None,
+        choices=["schedules", "sanitizer", "conformance", "conservation"],
+        help="run a single verification section",
+    )
+    p_ver.add_argument(
+        "--case", default=None,
+        help="run one conformance case, e.g. "
+             "p=2,t=1,d=2,v=1,b=1,m=2,schedule=1f1b,recompute=0,zero=0,"
+             "seed=5 (the format of printed repro strings)",
+    )
+    p_ver.add_argument(
+        "--inject", default=None,
+        choices=["reorder", "collective-shape", "grad-perturb"],
+        help="self-test: inject a known defect and demand the verifier "
+             "catches it (exits non-zero either way)",
+    )
+    p_ver.set_defaults(func=_cmd_verify)
 
     p_sched = sub.add_parser("schedule", help="render a schedule timeline")
     p_sched.add_argument(

@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.obs.tracer import span as _obs_span
+from repro.verify.sanitizer import record_collective as _sanitize
 
 from .traffic import TrafficKind, TrafficLog
 
@@ -55,15 +56,28 @@ def _check_ranks(ranks: Sequence[int]) -> None:
 
 
 def _check_group(buffers: Sequence[np.ndarray], ranks: Sequence[int]) -> None:
+    """Group check for same-shape collectives (all_reduce/reduce_scatter):
+    one buffer per rank, identical shape and dtype — validated up front
+    with per-buffer diagnostics, the same contract
+    :func:`_check_group_like` gives all_gather."""
     if len(buffers) != len(ranks):
         raise ValueError(
             f"{len(buffers)} buffers for {len(ranks)} ranks -- must match"
         )
     _check_ranks(ranks)
-    shape, dtype = buffers[0].shape, buffers[0].dtype
-    for b in buffers[1:]:
-        if b.shape != shape or b.dtype != dtype:
-            raise ValueError("all group buffers must share shape and dtype")
+    first = np.asarray(buffers[0])
+    for i, b in enumerate(buffers[1:], start=1):
+        b = np.asarray(b)
+        if b.dtype != first.dtype:
+            raise ValueError(
+                f"all group buffers must share dtype: buffer 0 is "
+                f"{first.dtype}, buffer {i} is {b.dtype}"
+            )
+        if b.shape != first.shape:
+            raise ValueError(
+                f"all group buffers must share shape: buffer 0 has "
+                f"{first.shape}, buffer {i} has {b.shape}"
+            )
 
 
 def ring_all_reduce(
@@ -81,6 +95,8 @@ def ring_all_reduce(
     argument refers to.
     """
     _check_group(buffers, ranks)
+    _sanitize("all_reduce", ranks, np.asarray(buffers[0]).shape,
+              np.asarray(buffers[0]).dtype, tag)
     with _comm_span("all_reduce", ranks, kind, tag):
         k = len(ranks)
         if k == 1:
@@ -145,6 +161,7 @@ def all_gather(
     with _comm_span("all_gather", ranks, kind, tag):
         k = len(ranks)
         full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
+        _sanitize("all_gather", ranks, full.shape, full.dtype, tag)
         if log is not None and k > 1:
             # Ring: each rank forwards each of the other k-1 shards once.
             for step in range(k - 1):
@@ -165,13 +182,20 @@ def reduce_scatter(
     """Ring reduce-scatter along axis 0: rank i receives the i-th
     equal slab of the element-wise sum.  Requires axis-0 divisibility."""
     _check_group(buffers, ranks)
+    k = len(ranks)
+    first = np.asarray(buffers[0])
+    if first.ndim < 1:
+        raise ValueError(
+            "reduce_scatter needs buffers with at least 1 dimension to "
+            "scatter along axis 0"
+        )
+    if first.shape[0] % k != 0:
+        raise ValueError(
+            f"reduce_scatter needs axis-0 ({first.shape[0]}) divisible "
+            f"by group size ({k})"
+        )
+    _sanitize("reduce_scatter", ranks, first.shape, first.dtype, tag)
     with _comm_span("reduce_scatter", ranks, kind, tag):
-        k = len(ranks)
-        if buffers[0].shape[0] % k != 0:
-            raise ValueError(
-                f"reduce_scatter needs axis-0 ({buffers[0].shape[0]}) divisible "
-                f"by group size ({k})"
-            )
         total = np.sum([b.astype(np.float64) for b in buffers], axis=0)
         slabs = np.split(total, k, axis=0)
         if log is not None and k > 1:
@@ -196,6 +220,9 @@ def broadcast(
     _check_ranks(ranks)
     if root not in ranks:
         raise ValueError(f"root {root} not in group {ranks}")
+    buffer = np.asarray(buffer)
+    _sanitize("broadcast", ranks, buffer.shape, buffer.dtype,
+              tag or f"root={root}")
     with _comm_span("broadcast", ranks, kind, tag):
         out = []
         for r in ranks:
@@ -216,6 +243,8 @@ def send(
     """Point-to-point transfer; returns the received array."""
     if src == dst:
         raise ValueError("p2p send requires distinct src and dst ranks")
+    buffer = np.asarray(buffer)
+    _sanitize("send", (src, dst), buffer.shape, buffer.dtype, tag)
     with _obs_span(
         "send", phase=f"comm.{kind.value}", rank=src, dst=dst, tag=tag
     ):

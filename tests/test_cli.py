@@ -143,6 +143,92 @@ class TestGoodput:
         assert "error" in capsys.readouterr().err
 
 
+class TestVerify:
+    def test_fast_suite_passes(self, capsys):
+        rc = main(["verify", "--fast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verification PASSED" in out
+        for section in ("schedules", "sanitizer", "conformance",
+                        "conservation"):
+            assert section in out
+
+    def test_single_case(self, capsys):
+        rc = main(["verify", "--case",
+                   "p=2,t=1,d=2,v=1,b=1,m=2,schedule=1f1b,seed=5"])
+        assert rc == 0
+        assert "conformance: 1 checks" in capsys.readouterr().out
+
+    def test_only_section(self, capsys):
+        rc = main(["verify", "--fast", "--only", "schedules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schedules" in out and "conformance" not in out
+
+    @pytest.mark.parametrize("mode", [
+        "reorder", "collective-shape", "grad-perturb",
+    ])
+    def test_injected_mutations_exit_nonzero_with_repro(self, mode, capsys):
+        rc = main(["verify", "--inject", mode, "--fast"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "verification FAILED" in out
+        assert "python -m repro verify" in out or "rank" in out
+
+    def test_grad_perturb_prints_seeded_repro_string(self, capsys):
+        rc = main(["verify", "--inject", "grad-perturb", "--seed", "5"])
+        assert rc == 1
+        assert ("python -m repro verify --case" in
+                capsys.readouterr().out)
+
+    def test_corrupted_schedule_fixture_exits_nonzero(self, tmp_path,
+                                                      capsys):
+        from dataclasses import replace
+
+        from repro.schedule import make_schedule
+        from repro.verify import schedule_to_json
+
+        schedule = make_schedule("gpipe", 2, 2)
+        ops = list(schedule.ops)
+        ops[0] = ops[0][:-1]  # drop rank 0's final backward
+        fixture = tmp_path / "bad_schedule.json"
+        fixture.write_text(
+            schedule_to_json(replace(schedule, ops=tuple(ops)))
+        )
+        rc = main(["verify", "--fast", "--schedule-json", str(fixture)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "fixture" in out and "verification FAILED" in out
+
+    def test_unparseable_schedule_fixture_exits_nonzero(self, tmp_path,
+                                                        capsys):
+        fixture = tmp_path / "garbage.json"
+        fixture.write_text("{not json")
+        rc = main(["verify", "--fast", "--schedule-json", str(fixture)])
+        assert rc == 1
+        assert "unparseable" in capsys.readouterr().out
+
+    def test_missing_fixture_reports_error(self, tmp_path, capsys):
+        rc = main(["verify", "--schedule-json",
+                   str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_case_reports_error(self, capsys):
+        rc = main(["verify", "--case", "p=2,bogus=1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_case_value_reports_error(self, capsys):
+        rc = main(["verify", "--case", "p=0"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_inject_mode_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--inject", "bitflip"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

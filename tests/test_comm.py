@@ -442,3 +442,106 @@ class TestExtraCollectives:
             got = np.concatenate(out[j])
             want = np.concatenate([chunks[i][j] for i in range(k)])
             np.testing.assert_array_equal(got, want)
+
+
+class TestRingCollectiveProperties:
+    """Hypothesis sweeps: random shapes, dtypes, and group sizes, checked
+    against the plain numpy reference and the ring byte formulas.
+
+    Byte identities (fp64 internals for all_reduce; original dtype for
+    all_gather/reduce_scatter):
+
+    - all_reduce moves ``2 (k-1) * n * 8`` total ring bytes (each of the
+      two phases moves every chunk once per step, k-1 steps);
+    - all_gather forwards each shard k-1 times;
+    - reduce_scatter moves ``k (k-1) * (nbytes // k)`` bytes.
+    """
+
+    DTYPES = st.sampled_from([np.float64, np.float32, np.int64])
+
+    @staticmethod
+    def _buffers(k, shape, dtype, seed):
+        r = np.random.default_rng(seed)
+        if np.issubdtype(dtype, np.integer):
+            return [r.integers(-100, 100, size=shape).astype(dtype)
+                    for _ in range(k)]
+        return [r.standard_normal(shape).astype(dtype) for _ in range(k)]
+
+    @given(
+        k=st.integers(2, 6),
+        shape=st.lists(st.integers(1, 8), min_size=1, max_size=3),
+        dtype=DTYPES,
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_reduce_matches_numpy_and_ring_bytes(self, k, shape, dtype,
+                                                     seed):
+        bufs = self._buffers(k, tuple(shape), dtype, seed)
+        log = TrafficLog()
+        out = ring_all_reduce(bufs, ranks=list(range(k)), log=log)
+        # The engine reduces in fp64 and casts back: compare against the
+        # same reference, with only summation-order slack.
+        want = np.sum([b.astype(np.float64) for b in bufs], axis=0)
+        for o in out:
+            assert o.dtype == dtype and o.shape == tuple(shape)
+            np.testing.assert_allclose(
+                o.astype(np.float64), want.astype(dtype).astype(np.float64),
+                rtol=1e-6, atol=1e-9,
+            )
+        n = int(np.prod(shape))
+        assert log.total_bytes() == 2 * (k - 1) * n * 8
+
+    @given(
+        k=st.integers(2, 6),
+        shard_rows=st.integers(1, 5),
+        cols=st.integers(1, 6),
+        dtype=DTYPES,
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_gather_matches_numpy_and_ring_bytes(self, k, shard_rows,
+                                                     cols, dtype, seed):
+        shards = self._buffers(k, (shard_rows, cols), dtype, seed)
+        log = TrafficLog()
+        out = all_gather(shards, ranks=list(range(k)), log=log)
+        want = np.concatenate(shards, axis=0)
+        for o in out:
+            np.testing.assert_array_equal(o, want)
+        # Each of the k shards is forwarded k-1 times around the ring.
+        assert log.total_bytes() == (k - 1) * sum(s.nbytes for s in shards)
+        per_rank = log.bytes_sent_by_rank()
+        assert len(per_rank) == k
+
+    @given(
+        k=st.integers(2, 6),
+        rows_per_rank=st.integers(1, 4),
+        cols=st.integers(1, 6),
+        dtype=DTYPES,
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_scatter_matches_numpy_and_ring_bytes(
+            self, k, rows_per_rank, cols, dtype, seed):
+        shape = (k * rows_per_rank, cols)
+        bufs = self._buffers(k, shape, dtype, seed)
+        log = TrafficLog()
+        out = reduce_scatter(bufs, ranks=list(range(k)), log=log)
+        total = np.sum([b.astype(np.float64) for b in bufs], axis=0)
+        want_slabs = np.split(total.astype(dtype), k, axis=0)
+        assert len(out) == k
+        for got, want in zip(out, want_slabs):
+            np.testing.assert_allclose(
+                got.astype(np.float64), want.astype(np.float64),
+                rtol=1e-6, atol=1e-9,
+            )
+        assert log.total_bytes() == k * (k - 1) * (bufs[0].nbytes // k)
+
+    @given(k=st.integers(2, 5), n=st.integers(2, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_integer_all_reduce_is_exact(self, k, n):
+        r = np.random.default_rng(n * 31 + k)
+        bufs = [r.integers(-1000, 1000, size=n) for _ in range(k)]
+        out = ring_all_reduce(bufs, ranks=list(range(k)))
+        want = np.sum(bufs, axis=0)
+        for o in out:
+            np.testing.assert_array_equal(o, want)

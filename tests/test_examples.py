@@ -53,3 +53,23 @@ class TestExamples:
     def test_language_modeling(self):
         out = run_example("language_modeling.py")
         assert "perplexity after training" in out and "continuation" in out
+
+    def test_verification_demo(self):
+        out = run_example("verification_demo.py")
+        assert "consumes activations" in out          # planted schedule race
+        assert "shape mismatch" in out                # planted collective bug
+        assert "verification PASSED" in out           # clean fast suite
+        assert "python -m repro verify --case" in out  # repro string
+
+
+def test_every_example_has_a_smoke_test():
+    """Completeness guard: each examples/*.py must appear in this file,
+    so new examples cannot land without smoke coverage."""
+    this_file = os.path.join(os.path.dirname(__file__), "test_examples.py")
+    with open(this_file, encoding="utf-8") as fh:
+        source = fh.read()
+    missing = [
+        name for name in sorted(os.listdir(EXAMPLES))
+        if name.endswith(".py") and name not in source
+    ]
+    assert not missing, f"examples without smoke tests: {missing}"

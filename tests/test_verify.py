@@ -1,0 +1,308 @@
+"""Tests for the correctness-verification subsystem (repro.verify).
+
+Three layers of coverage:
+
+1. each checker accepts all shipped-generator output (no false alarms);
+2. each checker flags a targeted mutation (no lost teeth) -- one test
+   per acceptance-criterion mutation class: reordered schedule
+   dependency, mismatched collective shape, perturbed gradient;
+3. the conformance harness itself, driven by hypothesis over the
+   (p, t, d, v, b, m, schedule, recompute) configuration space.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.primitives import ring_all_reduce
+from repro.config import ParallelConfig, tiny_test_model
+from repro.parallel import PTDTrainer
+from repro.schedule import make_schedule
+from repro.schedule.ir import OpKind, ScheduleOp
+from repro.verify import (
+    CollectiveSanitizer,
+    ConformanceCase,
+    SanitizerError,
+    ScheduleViolationError,
+    assert_valid_schedule,
+    check_all_generators,
+    check_conservation,
+    default_conservation_configs,
+    in_flight_bound,
+    parse_case,
+    run_case,
+    run_verification,
+    sample_cases,
+    schedule_from_json,
+    schedule_to_json,
+    validate_schedule,
+)
+
+
+def _swap_ops(schedule, rank, i, j):
+    """Return ``schedule`` with ops i and j of ``rank`` transposed."""
+    rank_ops = list(schedule.ops[rank])
+    rank_ops[i], rank_ops[j] = rank_ops[j], rank_ops[i]
+    ops = list(schedule.ops)
+    ops[rank] = tuple(rank_ops)
+    return replace(schedule, ops=tuple(ops))
+
+
+class TestScheduleValidator:
+    def test_all_shipped_generators_are_clean(self):
+        results = check_all_generators(fast=False)
+        assert len(results) >= 40  # the full grid covers all 4 generators
+        bad = {k: v for k, v in results.items() if v}
+        assert not bad, bad
+
+    def test_reordered_dependency_is_flagged(self):
+        # Acceptance mutation #1: a backward hoisted before its forward.
+        schedule = make_schedule("1f1b", 4, 4)
+        rank0 = schedule.ops[0]
+        b_idx = next(i for i, op in enumerate(rank0)
+                     if op.kind is OpKind.BACKWARD)
+        f_idx = next(i for i, op in enumerate(rank0)
+                     if op.kind is OpKind.FORWARD
+                     and op.microbatch == rank0[b_idx].microbatch)
+        mutated = _swap_ops(schedule, 0, f_idx, b_idx)
+        violations = validate_schedule(mutated)
+        assert any(v.check == "race" for v in violations)
+        with pytest.raises(ScheduleViolationError, match="race"):
+            assert_valid_schedule(mutated)
+
+    def test_p2p_reorder_is_flagged(self):
+        # Swapping two forwards on one rank desynchronises the send
+        # order from the downstream rank's receive order: a real-rank
+        # deadlock even though local dependencies still hold.
+        schedule = make_schedule("gpipe", 2, 4)
+        f0 = next(i for i, op in enumerate(schedule.ops[0])
+                  if op.kind is OpKind.FORWARD and op.microbatch == 0)
+        f1 = next(i for i, op in enumerate(schedule.ops[0])
+                  if op.kind is OpKind.FORWARD and op.microbatch == 1)
+        mutated = _swap_ops(schedule, 0, f0, f1)
+        violations = validate_schedule(mutated)
+        assert any(v.check in ("p2p", "deadlock") for v in violations), (
+            violations
+        )
+
+    def test_missing_op_is_flagged(self):
+        schedule = make_schedule("gpipe", 2, 2)
+        ops = list(schedule.ops)
+        ops[1] = ops[1][:-1]  # drop rank 1's last backward
+        mutated = replace(schedule, ops=tuple(ops))
+        violations = validate_schedule(mutated)
+        assert any(v.check == "completeness" for v in violations)
+
+    def test_memory_bound_violation_is_flagged(self):
+        # GPipe keeps all m microbatches in flight; relabeling it as
+        # 1f1b claims the min(p - rank, m) bound and must fail.
+        schedule = make_schedule("gpipe", 4, 8)
+        mutated = replace(schedule, name="1f1b")
+        violations = validate_schedule(mutated)
+        assert any(v.check == "memory" for v in violations)
+
+    def test_1f1b_bound_is_tight(self):
+        schedule = make_schedule("1f1b", 4, 8)
+        assert [in_flight_bound(schedule, r) for r in range(4)] == [4, 3, 2, 1]
+
+    def test_json_round_trip(self):
+        schedule = make_schedule("interleaved", 2, 4, 2)
+        again = schedule_from_json(schedule_to_json(schedule))
+        assert again == schedule
+        assert not validate_schedule(again)
+
+    @pytest.mark.parametrize("text", [
+        "not json at all",
+        "{}",
+        '{"name": "x", "num_stages": 1, "num_microbatches": 1, '
+        '"num_chunks": 1, "ops": [[["Q", 0, 0]]]}',
+    ])
+    def test_malformed_json_raises_value_error(self, text):
+        with pytest.raises(ValueError):
+            schedule_from_json(text)
+
+
+class TestCollectiveSanitizer:
+    def test_engine_train_step_is_clean(self):
+        config = tiny_test_model()
+        trainer = PTDTrainer(
+            config,
+            ParallelConfig(pipeline_parallel_size=2, tensor_parallel_size=2,
+                           data_parallel_size=2, microbatch_size=1,
+                           global_batch_size=4),
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, config.vocab_size, size=(4, config.seq_length))
+        with CollectiveSanitizer() as san:
+            trainer.train_step(ids, np.roll(ids, -1, axis=1))
+        assert san.num_events > 0
+        assert san.check() == []
+        san.assert_clean()
+
+    def test_primitives_record_while_active(self):
+        with CollectiveSanitizer() as san:
+            ring_all_reduce([np.ones(4), np.ones(4)], [0, 1])
+        assert san.num_events == 2  # one event per group rank
+        assert {e.op for t in san.timelines.values() for e in t} == {
+            "all_reduce"
+        }
+
+    def test_inactive_sanitizer_records_nothing(self):
+        san = CollectiveSanitizer()
+        ring_all_reduce([np.ones(4), np.ones(4)], [0, 1])
+        assert san.num_events == 0
+
+    def test_shape_mismatch_is_flagged(self):
+        # Acceptance mutation #2: one rank posts a different shape.
+        with CollectiveSanitizer() as san:
+            san.record_rank_event(0, "all_reduce", (0, 1), (5,), "float64")
+            san.record_rank_event(1, "all_reduce", (0, 1), (4,), "float64")
+        mismatches = san.check()
+        assert len(mismatches) == 1
+        assert "shape mismatch" in mismatches[0].reason
+        with pytest.raises(SanitizerError, match="shape mismatch"):
+            san.assert_clean()
+
+    def test_order_mismatch_is_flagged(self):
+        with CollectiveSanitizer() as san:
+            san.record_rank_event(0, "all_reduce", (0, 1), (4,), "float64")
+            san.record_rank_event(0, "all_gather", (0, 1), (8,), "float64")
+            san.record_rank_event(1, "all_gather", (0, 1), (8,), "float64")
+            san.record_rank_event(1, "all_reduce", (0, 1), (4,), "float64")
+        mismatches = san.check()
+        assert mismatches and "order mismatch" in mismatches[0].reason
+
+    def test_unmatched_collective_is_flagged(self):
+        with CollectiveSanitizer() as san:
+            san.record("all_reduce", (0, 1), (4,), "float64")
+            san.record_rank_event(0, "all_reduce", (0, 1), (4,), "float64")
+        mismatches = san.check()
+        assert mismatches and "unmatched" in mismatches[0].reason
+
+    def test_disjoint_groups_do_not_interact(self):
+        with CollectiveSanitizer() as san:
+            san.record("all_reduce", (0, 1), (4,), "float64")
+            san.record("all_gather", (2, 3), (8,), "float64")
+        assert san.check() == []
+
+
+class TestConformance:
+    def test_case_round_trips_through_repro_string(self):
+        case = ConformanceCase(p=2, t=2, d=2, v=1, b=2, m=2,
+                               schedule="gpipe", recompute=True, seed=77)
+        assert parse_case(case.key()) == case
+        assert case.key() in case.repro_string
+
+    @pytest.mark.parametrize("text", [
+        "p=2,q=1",          # unknown field
+        "p",                # no '='
+        "p=2,t=1,zero=1",   # zero needs p=t=v=1
+    ])
+    def test_parse_case_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_case(text)
+
+    def test_sampled_cases_are_deterministic_and_valid(self):
+        a = sample_cases(25, seed=3)
+        b = sample_cases(25, seed=3)
+        assert a == b
+        for case in a:
+            parse_case(case.key())  # validity = parses without error
+
+    def test_perturbed_gradient_is_flagged_with_repro_string(self):
+        # Acceptance mutation #3: silent gradient corruption.
+        case = ConformanceCase(p=2, d=2, b=1, m=2, seed=5)
+        result = run_case(case, perturb_gradient=1e-6)
+        assert not result.ok
+        assert any("diverged" in f or "deviates" in f
+                   for f in result.failures)
+        assert "python -m repro verify --case" in result.describe()
+
+    def test_zero3_case_matches_serial(self):
+        result = run_case(ConformanceCase(d=2, b=2, zero=True, seed=9))
+        assert result.ok, result.describe()
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        p=st.sampled_from([1, 2]),
+        t=st.sampled_from([1, 2]),
+        d=st.sampled_from([1, 2]),
+        interleave=st.booleans(),
+        m_factor=st.sampled_from([1, 2]),
+        recompute=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_random_configs_conform(self, p, t, d, interleave, m_factor,
+                                    recompute, seed):
+        v = 2 if (interleave and p > 1) else 1
+        schedule = "interleaved" if v > 1 else "1f1b"
+        m = p * m_factor if v > 1 else m_factor * 2
+        case = ConformanceCase(p=p, t=t, d=d, v=v, b=1, m=m,
+                               schedule=schedule, recompute=recompute,
+                               seed=seed)
+        result = run_case(case)
+        assert result.ok, result.describe()
+
+
+class TestConservation:
+    def test_default_grid_is_exact(self):
+        for case in default_conservation_configs():
+            report = check_conservation(case)
+            assert report.ok, report.describe()
+
+    def test_flags_zero_case(self):
+        with pytest.raises(ValueError, match="ZeRO"):
+            check_conservation(ConformanceCase(d=2, zero=True))
+
+    def test_report_names_each_quantity(self):
+        report = check_conservation(
+            default_conservation_configs(fast=True)[0]
+        )
+        names = {item.name for item in report.items}
+        assert {"dp.bytes", "pp.bytes", "flops"} <= names
+        assert any(n.startswith("tp.bytes[") for n in names)
+
+
+class TestRunner:
+    def test_fast_run_passes(self):
+        report = run_verification(fast=True)
+        assert report.ok, report.describe()
+        assert {s.name for s in report.sections} == {
+            "schedules", "sanitizer", "conformance", "conservation"
+        }
+        assert "verification PASSED" in report.describe()
+
+    @pytest.mark.parametrize("mode", [
+        "reorder", "collective-shape", "grad-perturb",
+    ])
+    def test_each_injection_is_caught(self, mode):
+        report = run_verification(inject=mode, fast=True)
+        assert not report.ok
+        assert "repro" in report.describe() or "rank" in report.describe()
+
+    def test_unknown_injection_rejected(self):
+        with pytest.raises(ValueError, match="injection"):
+            run_verification(inject="bitflip")
+
+    def test_corrupted_schedule_fixture_fails(self):
+        schedule = make_schedule("gpipe", 2, 2)
+        ops = list(schedule.ops)
+        rank_ops = list(ops[0])
+        # Duplicate a forward in place of the backward: both
+        # completeness (duplicate + missing) and local checks trip.
+        rank_ops[-1] = ScheduleOp(OpKind.FORWARD, 0, 0)
+        ops[0] = tuple(rank_ops)
+        text = schedule_to_json(replace(schedule, ops=tuple(ops)))
+        report = run_verification(fast=True, schedule_json=text)
+        assert not report.ok
+        assert any("fixture" in f for s in report.sections
+                   for f in s.failures)
+
+    def test_single_section(self):
+        report = run_verification(fast=True, only="schedules")
+        assert [s.name for s in report.sections] == ["schedules"]
+        assert report.ok
