@@ -17,9 +17,14 @@ Subcommands:
   and replay a failure trace through the goodput simulator
   (:mod:`repro.resilience`);
 - ``verify``    — run the correctness-verification suite: schedule
-  validator, collective sanitizer, cross-parallelism conformance, and
-  traffic/FLOP conservation; exits 1 on violations
-  (:mod:`repro.verify`);
+  validator, collective sanitizer, cross-parallelism conformance,
+  traffic/FLOP conservation, and chaos-recovery conformance; exits 1
+  on violations (:mod:`repro.verify`);
+- ``chaos``     — run the tiny model through the supervised
+  fault-tolerance harness under live injected failures (kills,
+  checkpoint corruption, transient save errors), recover
+  automatically, and prove the recovered run matches the uninterrupted
+  reference (:mod:`repro.resilience.harness`);
 - ``experiments`` — alias for ``python -m repro.experiments``.
 
 Configuration errors (bad model shapes, infeasible parallel configs,
@@ -293,6 +298,156 @@ def _cmd_goodput(args) -> int:
     return 0
 
 
+def _parse_int_list(text: str, flag: str) -> list[int]:
+    try:
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise ValueError(
+            f"{flag} expects comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _chaos_plan_from_args(args):
+    from repro.resilience import (
+        ChaosPlan,
+        CorruptCheckpoint,
+        Kill,
+        SaveFailure,
+    )
+
+    if args.plan is not None:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            return ChaosPlan.from_json(fh.read())
+    kills = tuple(
+        Kill(at_iteration=k, rank=args.rank, permanent=args.permanent)
+        for k in _parse_int_list(args.kill_at or "", "--kill-at")
+    )
+    corruptions = tuple(
+        CorruptCheckpoint(at_iteration=k, file=args.corrupt_file,
+                          mode=args.corrupt_mode)
+        for k in _parse_int_list(args.corrupt or "", "--corrupt")
+    )
+    save_failures = []
+    for spec in (args.save_fail or "").split(","):
+        spec = spec.strip()
+        if not spec:
+            continue
+        at, _, times = spec.partition(":")
+        try:
+            save_failures.append(SaveFailure(
+                at_iteration=int(at), times=int(times) if times else 1
+            ))
+        except ValueError as exc:
+            raise ValueError(f"bad --save-fail entry {spec!r}: {exc}")
+    return ChaosPlan(kills=kills, corruptions=corruptions,
+                     save_failures=tuple(save_failures))
+
+
+def _cmd_chaos(args) -> int:
+    import contextlib
+    import tempfile
+
+    import numpy as np
+
+    from repro.config import tiny_test_model
+    from repro.obs import phase_summary, trace, write_chrome_trace
+    from repro.resilience import (
+        ChaosHarness,
+        run_baseline,
+        run_reset_reference,
+        states_bit_equal,
+    )
+
+    if args.fast and not (args.plan or args.kill_at or args.corrupt
+                          or args.save_fail):
+        # The CI smoke: one of everything on the default tiny run.
+        args.kill_at, args.corrupt, args.save_fail = "5", "4", "2:1"
+    plan = _chaos_plan_from_args(args)
+    config = tiny_test_model(num_layers=2, hidden_size=16,
+                             num_attention_heads=4, vocab_size=32,
+                             seq_length=8)
+    parallel = ParallelConfig(
+        pipeline_parallel_size=args.p,
+        tensor_parallel_size=args.t,
+        data_parallel_size=args.d,
+        microbatch_size=args.b,
+        global_batch_size=args.batch,
+    )
+    parallel.validate_for_model(config)
+
+    with contextlib.ExitStack() as stack:
+        directory = args.dir or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        )
+        harness = ChaosHarness(
+            config, parallel, directory, plan=plan,
+            total_iterations=args.iterations,
+            checkpoint_every=args.every,
+            keep_last=args.keep_last,
+            schedule=args.schedule,
+            seed=args.seed,
+            backoff_base=args.backoff,
+        )
+        print(f"model: {config}")
+        print(f"parallel: {parallel.describe()}  schedule={args.schedule}")
+        print(f"chaos plan: {len(plan.kills)} kills, "
+              f"{len(plan.corruptions)} corruptions, "
+              f"{len(plan.save_failures)} transient save failures")
+        print(f"checkpoints: every {args.every} iterations, "
+              f"keep last {args.keep_last}, under {directory}")
+        print()
+        with trace() as tracer:
+            report = harness.run()
+        print(report.describe())
+        if args.out:
+            write_chrome_trace(tracer, args.out)
+            print(f"\nwrote {args.out} ({len(tracer)} spans; recovery "
+                  "phases are chaos.*)")
+            print()
+            print(phase_summary(tracer))
+
+    if args.no_verify:
+        return 0
+    print()
+    if not report.resharded:
+        base_losses, base_state = run_baseline(
+            config, parallel, total_iterations=args.iterations,
+            schedule=args.schedule, seed=args.seed,
+        )
+        loss_ok = report.losses == base_losses
+        state_ok = states_bit_equal(report.final_state, base_state)
+        print(f"bit-exact vs uninterrupted run: losses={loss_ok}  "
+              f"parameters={state_ok}")
+        if not (loss_ok and state_ok):
+            print("error: recovered run deviates from the uninterrupted "
+                  "reference", file=sys.stderr)
+            return 1
+    else:
+        restored = [r for r in report.records if r.kind == "restore"]
+        reset_at = restored[0].at_iteration if restored else 0
+        ref_losses, ref_state = run_reset_reference(
+            config, args.batch, total_iterations=args.iterations,
+            reset_at=reset_at, seed=args.seed,
+        )
+        loss_ok = bool(np.allclose(
+            report.losses[reset_at:], ref_losses[reset_at:],
+            rtol=1e-9, atol=1e-12,
+        ))
+        state_ok = all(
+            np.allclose(report.final_state[k], ref_state[k],
+                        rtol=1e-8, atol=1e-11)
+            for k in ref_state if k != "head.tied"
+        )
+        print(f"resharded resume vs single-rank reference "
+              f"(optimizer reset at {reset_at}): losses={loss_ok}  "
+              f"parameters={state_ok}")
+        if not (loss_ok and state_ok):
+            print("error: resharded resume deviates from the single-rank "
+                  "reference", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from repro.verify import parse_case
     from repro.verify.runner import INJECT_MODES, run_verification
@@ -429,7 +584,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ver.add_argument(
         "--only", default=None,
-        choices=["schedules", "sanitizer", "conformance", "conservation"],
+        choices=["schedules", "sanitizer", "conformance", "conservation",
+                 "chaos"],
         help="run a single verification section",
     )
     p_ver.add_argument(
@@ -445,6 +601,80 @@ def build_parser() -> argparse.ArgumentParser:
              "catches it (exits non-zero either way)",
     )
     p_ver.set_defaults(func=_cmd_verify)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="supervised fault-tolerant training of the tiny model under "
+             "live injected failures",
+    )
+    p_chaos.add_argument("-p", type=int, default=1, help="pipeline-parallel size")
+    p_chaos.add_argument("-t", type=int, default=1, help="tensor-parallel size")
+    p_chaos.add_argument("-d", type=int, default=2, help="data-parallel size")
+    p_chaos.add_argument("-b", type=int, default=1, help="microbatch size")
+    p_chaos.add_argument("--batch", type=int, default=4,
+                         help="global batch size")
+    p_chaos.add_argument(
+        "--schedule", default="1f1b",
+        choices=["gpipe", "1f1b", "interleaved", "interleaved-gpipe"],
+    )
+    p_chaos.add_argument("--iterations", type=int, default=8,
+                         help="iterations of real training")
+    p_chaos.add_argument("--every", type=int, default=2,
+                         help="checkpoint interval, iterations")
+    p_chaos.add_argument("--keep-last", type=int, default=3,
+                         help="checkpoint retention (last k snapshots)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="weights + per-iteration data seed")
+    p_chaos.add_argument(
+        "--plan", default=None,
+        help="chaos plan JSON (kills/corruptions/save_failures); "
+             "overrides the individual fault flags",
+    )
+    p_chaos.add_argument(
+        "--kill-at", default=None,
+        help="comma-separated iterations at which a rank failure is "
+             "raised inside the live engine",
+    )
+    p_chaos.add_argument("--rank", type=int, default=0,
+                         help="rank label for injected failures")
+    p_chaos.add_argument(
+        "--permanent", action="store_true",
+        help="killed ranks are lost for good: recovery reshards onto a "
+             "smaller parallel configuration",
+    )
+    p_chaos.add_argument(
+        "--corrupt", default=None,
+        help="comma-separated iterations whose committed checkpoint is "
+             "damaged on disk after commit",
+    )
+    p_chaos.add_argument("--corrupt-file", default="model.npz",
+                         help="which checkpoint file to damage")
+    p_chaos.add_argument("--corrupt-mode", default="flip",
+                         choices=["flip", "truncate", "delete"])
+    p_chaos.add_argument(
+        "--save-fail", default=None,
+        help="comma-separated k[:times] entries: the checkpoint save at "
+             "iteration k fails transiently `times` times",
+    )
+    p_chaos.add_argument("--backoff", type=float, default=0.05,
+                         help="base save-retry backoff, seconds (doubles "
+                              "per attempt, capped)")
+    p_chaos.add_argument("--dir", default=None,
+                         help="checkpoint root (default: a temp dir)")
+    p_chaos.add_argument("--out", default=None,
+                         help="write a Chrome trace of the run, including "
+                              "failure/recovery spans")
+    p_chaos.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke: inject one kill + one corruption + one transient "
+             "save failure unless faults are given explicitly",
+    )
+    p_chaos.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bit-exactness comparison against the "
+             "uninterrupted reference run",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_sched = sub.add_parser("schedule", help="render a schedule timeline")
     p_sched.add_argument(

@@ -95,6 +95,12 @@ class PTDTrainer:
         self.loss_scale = loss_scale
         self.last_grad_norm: float | None = None
         self.iteration = 0
+        #: Callables invoked with the trainer at the top of every
+        #: ``train_step``, before any compute.  The chaos harness
+        #: (:mod:`repro.resilience.harness`) injects rank failures here;
+        #: an exception propagates out of ``train_step`` with no state
+        #: mutated, modelling a rank dying between iterations.
+        self.pre_step_hooks: list = []
 
     def train_step(self, ids: np.ndarray, targets: np.ndarray) -> float:
         """One strict synchronous iteration on the global batch.
@@ -107,6 +113,8 @@ class PTDTrainer:
             raise ValueError(
                 f"expected global batch of {B} sequences, got {ids.shape[0]}"
             )
+        for hook in list(self.pre_step_hooks):
+            hook(self)
         d = self.parallel.data_parallel_size
         m = self.parallel.num_microbatches
         shards = scatter_batch(ids, targets, d)

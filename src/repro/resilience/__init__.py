@@ -18,9 +18,26 @@ checkpoint / goodput the defining concern beyond raw PTD-P throughput.
   :class:`~repro.resilience.goodput.GoodputReport` for a run under a
   failure trace (exported through :mod:`repro.obs`), the steady-state
   expectation, and the checkpoint-interval sweep behind
-  ``python -m repro goodput``.
+  ``python -m repro goodput``;
+- :mod:`repro.resilience.chaos` — declarative
+  :class:`~repro.resilience.chaos.ChaosPlan`, the *live* twin of
+  ``FaultPlan``: kills, checkpoint corruption, and transient save
+  failures injected into the real engine;
+- :mod:`repro.resilience.harness` — supervised
+  :class:`~repro.resilience.harness.ChaosHarness` that trains through a
+  chaos plan with durable checkpoints, retries, fallback, and optional
+  resharding, behind ``python -m repro chaos``.
 """
 
+from .chaos import (
+    ChaosPlan,
+    CorruptCheckpoint,
+    Kill,
+    RankFailureError,
+    SaveFailure,
+    TransientSaveError,
+    corrupt_file,
+)
 from .detect import HeartbeatDetector
 from .faults import (
     FaultPlan,
@@ -43,6 +60,17 @@ from .goodput import (
     simulate_goodput,
     sweep_checkpoint_interval,
 )
+from .harness import (
+    ChaosHarness,
+    ChaosReport,
+    HarnessGaveUpError,
+    RecoveryRecord,
+    batch_for_iteration,
+    run_baseline,
+    run_reset_reference,
+    shrink_parallel,
+    states_bit_equal,
+)
 from .recovery import (
     RecoveryEvent,
     RestartPolicy,
@@ -51,6 +79,22 @@ from .recovery import (
 )
 
 __all__ = [
+    "ChaosPlan",
+    "Kill",
+    "CorruptCheckpoint",
+    "SaveFailure",
+    "RankFailureError",
+    "TransientSaveError",
+    "corrupt_file",
+    "ChaosHarness",
+    "ChaosReport",
+    "HarnessGaveUpError",
+    "RecoveryRecord",
+    "batch_for_iteration",
+    "run_baseline",
+    "run_reset_reference",
+    "shrink_parallel",
+    "states_bit_equal",
     "FaultPlan",
     "RankFailure",
     "LinkDegradation",

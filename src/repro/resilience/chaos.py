@@ -1,0 +1,230 @@
+"""Declarative chaos plans for the *live* numeric engine.
+
+:class:`~repro.resilience.faults.FaultPlan` (PR 2) describes what goes
+wrong in a *modelled* run; :class:`ChaosPlan` is its executable twin:
+the same declarative shape, but every entry is injected into the real
+:class:`~repro.parallel.trainer.PTDTrainer` loop or the real checkpoint
+writer by :class:`~repro.resilience.harness.ChaosHarness`.  Three
+species again, now with teeth:
+
+- :class:`Kill` — raise :class:`RankFailureError` out of
+  ``train_step`` once committed progress reaches ``at_iteration``
+  (``permanent=True`` means the rank is lost for good, forcing a
+  resharded resume on a smaller parallel configuration);
+- :class:`CorruptCheckpoint` — after the checkpoint committed at
+  ``at_iteration`` is verified and published, damage one of its files
+  on disk (bit-flip / truncate / delete), modelling post-commit
+  bit-rot that a later restore must detect and skip;
+- :class:`SaveFailure` — make the checkpoint writer fail transiently
+  (``times`` consecutive :class:`TransientSaveError` raises at the
+  ``at_iteration`` boundary, before anything is published), modelling
+  a flaky parallel filesystem the harness must retry through.
+
+Plans round-trip through JSON (``python -m repro chaos --plan``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+
+CORRUPT_MODES = ("flip", "truncate", "delete")
+
+
+class RankFailureError(RuntimeError):
+    """A rank died: the synchronous PTD-P job cannot continue around a
+    hole, so this aborts the training step it interrupts.
+
+    The live counterpart of the declarative
+    :class:`~repro.resilience.faults.RankFailure`: ``iteration`` counts
+    committed iterations at the instant of death, ``rank`` labels the
+    trace span, and ``permanent`` marks a rank that will not come back
+    (the recovery policy reshards onto fewer ranks).
+    """
+
+    def __init__(self, iteration: int, rank: int = 0,
+                 permanent: bool = False):
+        self.iteration = iteration
+        self.rank = rank
+        self.permanent = permanent
+        kind = "permanently lost" if permanent else "failed"
+        super().__init__(
+            f"rank {rank} {kind} at iteration {iteration}"
+        )
+
+
+class TransientSaveError(OSError):
+    """A checkpoint save failed in a retryable way (flaky filesystem)."""
+
+
+@dataclass(frozen=True)
+class Kill:
+    """Kill ``rank`` once committed progress reaches ``at_iteration``
+    (before the next iteration runs -- the same boundary semantics as
+    :class:`~repro.resilience.faults.RankFailure`).  Fires once."""
+
+    at_iteration: int
+    rank: int = 0
+    permanent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at_iteration < 0:
+            raise ValueError(
+                f"at_iteration must be >= 0, got {self.at_iteration}"
+            )
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass(frozen=True)
+class CorruptCheckpoint:
+    """Damage ``file`` inside the checkpoint committed at
+    ``at_iteration``, after it has been verified and published."""
+
+    at_iteration: int
+    file: str = "model.npz"
+    mode: str = "flip"
+
+    def __post_init__(self) -> None:
+        if self.at_iteration < 0:
+            raise ValueError(
+                f"at_iteration must be >= 0, got {self.at_iteration}"
+            )
+        if self.mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"mode must be one of {CORRUPT_MODES}, got {self.mode!r}"
+            )
+        if os.sep in self.file or self.file in ("", ".", ".."):
+            raise ValueError(f"file must be a plain filename, got {self.file!r}")
+
+
+@dataclass(frozen=True)
+class SaveFailure:
+    """The checkpoint save at the ``at_iteration`` boundary fails
+    transiently ``times`` times before succeeding."""
+
+    at_iteration: int
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_iteration < 0:
+            raise ValueError(
+                f"at_iteration must be >= 0, got {self.at_iteration}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Everything that goes wrong during one *live* training run."""
+
+    kills: tuple[Kill, ...] = ()
+    corruptions: tuple[CorruptCheckpoint, ...] = ()
+    save_failures: tuple[SaveFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "kills",
+            tuple(sorted(self.kills, key=lambda k: k.at_iteration)),
+        )
+        object.__setattr__(self, "corruptions", tuple(self.corruptions))
+        object.__setattr__(self, "save_failures", tuple(self.save_failures))
+        seen = set()
+        for sf in self.save_failures:
+            if sf.at_iteration in seen:
+                raise ValueError(
+                    f"duplicate save_failure at iteration {sf.at_iteration}"
+                )
+            seen.add(sf.at_iteration)
+
+    @property
+    def is_healthy(self) -> bool:
+        return not (self.kills or self.corruptions or self.save_failures)
+
+    def corruptions_at(self, iteration: int) -> tuple[CorruptCheckpoint, ...]:
+        return tuple(
+            c for c in self.corruptions if c.at_iteration == iteration
+        )
+
+    def save_failure_budget(self) -> dict[int, int]:
+        """Mutable ``{iteration: remaining transient failures}`` map
+        (one per run; the harness decrements it as failures fire)."""
+        return {sf.at_iteration: sf.times for sf in self.save_failures}
+
+    # -- (de)serialisation --------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kills": [asdict(k) for k in self.kills],
+                "corruptions": [asdict(c) for c in self.corruptions],
+                "save_failures": [asdict(s) for s in self.save_failures],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"unparseable chaos plan: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ValueError("chaos plan must be a JSON object")
+        unknown = set(raw) - {"kills", "corruptions", "save_failures"}
+        if unknown:
+            raise ValueError(
+                f"unknown chaos plan keys: {', '.join(sorted(unknown))}"
+            )
+
+        def build(cls_, entries, what):
+            out = []
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    raise ValueError(f"{what} entries must be objects")
+                try:
+                    out.append(cls_(**entry))
+                except TypeError as exc:
+                    raise ValueError(f"bad {what} entry: {exc}") from exc
+            return tuple(out)
+
+        return cls(
+            kills=build(Kill, raw.get("kills", ()), "kill"),
+            corruptions=build(
+                CorruptCheckpoint, raw.get("corruptions", ()), "corruption"
+            ),
+            save_failures=build(
+                SaveFailure, raw.get("save_failures", ()), "save_failure"
+            ),
+        )
+
+
+def corrupt_file(path: str, mode: str = "flip") -> None:
+    """Damage one file on disk the way the chaos plan asks.
+
+    ``flip`` XORs a handful of bytes spread through the file (silent
+    bit-rot: the file still exists with the right size), ``truncate``
+    cuts it in half (a torn write), ``delete`` removes it.
+    """
+    if mode not in CORRUPT_MODES:
+        raise ValueError(f"mode must be one of {CORRUPT_MODES}, got {mode!r}")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"cannot corrupt missing file {path}")
+    if mode == "delete":
+        os.remove(path)
+        return
+    size = os.path.getsize(path)
+    if mode == "truncate":
+        with open(path, "r+b") as f:
+            f.truncate(size // 2)
+        return
+    with open(path, "r+b") as f:
+        for offset in {size // 4, size // 2, (3 * size) // 4}:
+            f.seek(min(offset, max(size - 1, 0)))
+            byte = f.read(1)
+            if not byte:
+                continue
+            f.seek(-1, os.SEEK_CUR)
+            f.write(bytes([byte[0] ^ 0xFF]))

@@ -15,8 +15,11 @@ synchronous-SGD semantics -- into executable, CI-enforced properties:
   the parallel engine matches the single-rank baseline.
 - :mod:`repro.verify.conservation` -- cross-checks measured TrafficLog
   bytes and FlopMeter FLOPs against the §3.2 / eq. (3) closed forms.
+- :mod:`repro.verify.chaos_check` -- fault-tolerance conformance: the
+  chaos harness's recovery (kill/resume, corrupt/fallback, interrupted
+  commits, resharding) must not change what training computes.
 
-``python -m repro verify`` runs all four (see
+``python -m repro verify`` runs all five (see
 :mod:`repro.verify.runner`).
 
 This ``__init__`` resolves its public names lazily (PEP 562):
@@ -50,6 +53,8 @@ _EXPORTS = {
     "parse_case": "conformance",
     "run_case": "conformance",
     "sample_cases": "conformance",
+    # chaos / fault-tolerance conformance
+    "run_chaos_checks": "chaos_check",
     # conservation checks
     "ConservationItem": "conformance_conservation",
     "ConservationReport": "conformance_conservation",

@@ -1,6 +1,6 @@
 """``python -m repro verify``: run every verification layer, report, exit.
 
-Four sections, each independently reportable:
+Five sections, each independently reportable:
 
 - ``schedules``     -- static validation of every shipped schedule
   generator across a (p, m, v) grid, plus any user-supplied schedule
@@ -11,6 +11,13 @@ Four sections, each independently reportable:
   the single-rank baseline (``--configs``/``--seed``/``--case``).
 - ``conservation``  -- measured traffic bytes and FLOPs vs the §3.2 /
   eq. (3) closed forms, exact integer equality.
+- ``chaos``         -- fault-tolerance conformance
+  (:mod:`repro.verify.chaos_check`): a run killed and recovered by the
+  chaos harness must be bit-identical to an uninterrupted run, a
+  corrupted newest checkpoint must fall back to an older verified one,
+  interrupted commits must never leave ``LATEST`` at an unverifiable
+  checkpoint, and a resharded resume must match the single-rank
+  reference at fp64 tolerance.
 
 Mutation self-test (``--inject``): the verifier is itself verified by
 injecting one of three known defects and demanding it is caught --
@@ -185,6 +192,21 @@ def _run_conservation(fast: bool) -> SectionResult:
     return section
 
 
+def _run_chaos(fast: bool, seed: int) -> SectionResult:
+    from .chaos_check import run_chaos_checks
+
+    section = SectionResult("chaos")
+    results = run_chaos_checks(fast=fast, seed=seed)
+    section.checks = len(results)
+    for name, failures in results:
+        for failure in failures:
+            section.failures.append(f"{name}: {failure}")
+    section.notes.append(
+        "recovery conformance: " + ", ".join(name for name, _ in results)
+    )
+    return section
+
+
 def _run_injected_reorder(seed: int) -> SectionResult:
     """Mutate a known-good 1F1B schedule (a backward hoisted before its
     forward on rank 0) and demand the static validator flags it."""
@@ -243,7 +265,7 @@ def run_verification(
             f"{', '.join(INJECT_MODES)}"
         )
     if only is not None and only not in (
-        "schedules", "sanitizer", "conformance", "conservation"
+        "schedules", "sanitizer", "conformance", "conservation", "chaos"
     ):
         raise ValueError(f"unknown section {only!r}")
     if num_cases is None:
@@ -274,6 +296,8 @@ def run_verification(
             )
         if only in (None, "conservation"):
             report.sections.append(_run_conservation(fast))
+        if only in (None, "chaos"):
+            report.sections.append(_run_chaos(fast, seed))
 
     if inject is not None and report.ok:
         # The injected defect was NOT caught: the verifier itself is

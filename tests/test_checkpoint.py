@@ -1,11 +1,25 @@
-"""Tests for distributed checkpointing: exact resume and resharding."""
+"""Tests for distributed checkpointing: exact resume, resharding,
+atomic commits, integrity verification, and the run-level store."""
+
+import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.config import ParallelConfig, tiny_test_model
 from repro.parallel import PTDTrainer
-from repro.parallel.checkpoint import load_checkpoint, save_checkpoint
+from repro.parallel.checkpoint import (
+    CheckpointCommitError,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointNotFoundError,
+    CheckpointStore,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 
 CFG = tiny_test_model(num_layers=4, hidden_size=16, num_attention_heads=4,
                       vocab_size=32, seq_length=8)
@@ -59,6 +73,10 @@ class TestSameConfigResume:
 
 
 class TestResharding:
+    # A grid of (p, t, d, v) source -> target configurations covering
+    # every parallelism axis changing alone and in combination: pure
+    # growth/shrink of p, t, d, interleaving appearing/disappearing,
+    # and fully mixed reshards in both directions.
     @pytest.mark.parametrize(
         "src,dst",
         [
@@ -66,6 +84,14 @@ class TestResharding:
             ((2, 2, 2, 1), (4, 1, 2, 1)),
             ((1, 1, 1, 1), (2, 2, 2, 1)),
             ((2, 1, 1, 2), (1, 4, 2, 1)),
+            ((4, 1, 1, 1), (1, 1, 4, 1)),   # pipeline -> data
+            ((1, 4, 1, 1), (4, 1, 1, 1)),   # tensor -> pipeline
+            ((1, 1, 4, 1), (1, 4, 1, 1)),   # data -> tensor
+            ((2, 2, 1, 1), (2, 1, 2, 2)),   # mixed, gains interleaving
+            ((2, 1, 2, 2), (2, 2, 1, 1)),   # mixed, loses interleaving
+            ((4, 2, 1, 1), (2, 2, 2, 1)),   # shrink p, grow d
+            ((1, 2, 4, 1), (4, 2, 1, 1)),   # shrink d, grow p
+            ((2, 2, 2, 2), (1, 1, 2, 1)),   # big world -> small world
         ],
     )
     def test_weights_survive_reshard(self, tmp_path, src, dst):
@@ -76,14 +102,17 @@ class TestResharding:
         save_checkpoint(a, str(tmp_path))
         b = make_trainer(*dst, seed=123)
         restored = load_checkpoint(b, str(tmp_path))
-        assert restored is False  # optimizer reset on reshard
+        assert restored is False  # optimizer-state reset is reported
+        assert b.iteration == 2
         sa = a.gather_state_dict()
         sb = b.gather_state_dict()
+        assert set(sb) == set(sa)
         for name in sb:
             if name == "head.tied":
                 continue
-            np.testing.assert_allclose(sb[name], sa[name], rtol=1e-12,
-                                       err_msg=name)
+            # Gathered weights round-trip exactly through the reshard.
+            np.testing.assert_array_equal(sb[name], sa[name],
+                                          err_msg=name)
 
     def test_resharded_trainer_continues_consistently(self, tmp_path):
         """After resharding, all dst replicas/shards agree: one further
@@ -106,6 +135,13 @@ class TestValidation:
         with pytest.raises(FileNotFoundError):
             load_checkpoint(t, str(tmp_path / "nope"))
 
+    def test_missing_checkpoint_is_hierarchy_error(self, tmp_path):
+        t = make_trainer()
+        with pytest.raises(CheckpointNotFoundError):
+            load_checkpoint(t, str(tmp_path / "nope"))
+        assert issubclass(CheckpointNotFoundError, CheckpointError)
+        assert issubclass(CheckpointNotFoundError, FileNotFoundError)
+
     def test_architecture_mismatch(self, tmp_path):
         a = make_trainer()
         save_checkpoint(a, str(tmp_path))
@@ -119,6 +155,232 @@ class TestValidation:
         )
         with pytest.raises(ValueError, match="architecture"):
             load_checkpoint(b, str(tmp_path))
+        with pytest.raises(CheckpointMismatchError):
+            load_checkpoint(b, str(tmp_path))
+
+    def test_unknown_format_version(self, tmp_path):
+        a = make_trainer()
+        save_checkpoint(a, str(tmp_path))
+        meta_path = tmp_path / "metadata.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(CheckpointMismatchError, match="format"):
+            load_checkpoint(make_trainer(), str(tmp_path))
+
+    def test_missing_model_file_is_corrupt(self, tmp_path):
+        a = make_trainer()
+        save_checkpoint(a, str(tmp_path))
+        os.remove(tmp_path / "model.npz")
+        with pytest.raises(CheckpointCorruptError, match="model.npz"):
+            load_checkpoint(make_trainer(), str(tmp_path))
+
+    def test_missing_optimizer_shard_is_corrupt(self, tmp_path):
+        a = make_trainer()
+        save_checkpoint(a, str(tmp_path))
+        os.remove(tmp_path / "optimizer_rank1.npz")
+        with pytest.raises(CheckpointCorruptError, match="optimizer_rank1"):
+            load_checkpoint(make_trainer(), str(tmp_path))
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        a = make_trainer()
+        save_checkpoint(a, str(tmp_path))
+        path = tmp_path / "model.npz"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptError, match="integrity"):
+            verify_checkpoint(str(tmp_path))
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(make_trainer(), str(tmp_path))
+
+    def test_verify_passes_on_committed_checkpoint(self, tmp_path):
+        a = make_trainer()
+        meta = save_checkpoint(a, str(tmp_path))
+        assert meta["format_version"] == 2
+        assert set(meta["files"]) == {
+            "model.npz", "optimizer_rank0.npz", "optimizer_rank1.npz"
+        }
+        assert verify_checkpoint(str(tmp_path))["iteration"] == 0
+
+    def test_unverified_load_skips_checksums(self, tmp_path):
+        """A flipped byte inside the zip payload may still unpickle;
+        verify=False explicitly opts out of the integrity check."""
+        a = make_trainer()
+        ids, targets = batch()
+        a.train_step(ids, targets)
+        save_checkpoint(a, str(tmp_path))
+        # Corrupt an optimizer shard only; model.npz stays intact.
+        path = tmp_path / "optimizer_rank0.npz"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(make_trainer(), str(tmp_path), verify=True)
+
+    def test_format_v1_still_loads(self, tmp_path):
+        """Pre-hardening checkpoints (no digests) remain readable."""
+        a = make_trainer()
+        ids, targets = batch()
+        a.train_step(ids, targets)
+        save_checkpoint(a, str(tmp_path))
+        meta_path = tmp_path / "metadata.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 1
+        del meta["files"]
+        meta_path.write_text(json.dumps(meta))
+        b = make_trainer(seed=7)
+        assert load_checkpoint(b, str(tmp_path)) is True
+        assert b.iteration == 1
+
+
+class TestAtomicCommit:
+    def test_rejects_non_checkpoint_directory(self, tmp_path):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "data.txt").write_text("not a checkpoint")
+        with pytest.raises(CheckpointCommitError, match="not a recognised"):
+            save_checkpoint(make_trainer(), str(target))
+        # The unrelated data survives the refused commit.
+        assert (target / "data.txt").read_text() == "not a checkpoint"
+
+    def test_rejects_plain_file_target(self, tmp_path):
+        target = tmp_path / "file"
+        target.write_text("x")
+        with pytest.raises(CheckpointCommitError):
+            save_checkpoint(make_trainer(), str(target))
+
+    def test_replaces_existing_checkpoint(self, tmp_path):
+        a = make_trainer()
+        ids, targets = batch()
+        save_checkpoint(a, str(tmp_path))
+        a.train_step(ids, targets)
+        save_checkpoint(a, str(tmp_path))  # overwrite in place
+        assert verify_checkpoint(str(tmp_path))["iteration"] == 1
+
+    def test_interrupted_write_leaves_no_partial_target(self, tmp_path):
+        target = tmp_path / "ckpt"
+        boom = RuntimeError("crash mid-write")
+
+        def hook(stage):
+            if stage == "pre-commit":
+                raise boom
+
+        with pytest.raises(RuntimeError, match="mid-write"):
+            save_checkpoint(make_trainer(), str(target), fault_hook=hook)
+        assert not target.exists()
+        assert os.listdir(tmp_path) == []  # temp dir cleaned up too
+
+    def test_interrupted_replace_keeps_old_checkpoint(self, tmp_path):
+        target = tmp_path / "ckpt"
+        a = make_trainer()
+        save_checkpoint(a, str(target))
+        ids, targets = batch()
+        a.train_step(ids, targets)
+
+        def hook(stage):
+            if stage == "pre-commit":
+                raise RuntimeError("crash before rename")
+
+        with pytest.raises(RuntimeError):
+            save_checkpoint(a, str(target), fault_hook=hook)
+        # The previous checkpoint is still committed and intact.
+        assert verify_checkpoint(str(target))["iteration"] == 0
+
+    def test_non_atomic_writer_matches_layout(self, tmp_path):
+        """The benchmark-baseline writer produces a loadable (v2)
+        checkpoint, just without crash safety."""
+        a = make_trainer()
+        save_checkpoint(a, str(tmp_path), atomic=False)
+        b = make_trainer(seed=3)
+        assert load_checkpoint(b, str(tmp_path)) is True
+
+
+class TestCheckpointStore:
+    def run_to(self, trainer, iterations):
+        ids, targets = batch()
+        for _ in range(iterations):
+            trainer.train_step(ids, targets)
+
+    def test_save_advances_latest_and_gc(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=2)
+        t = make_trainer()
+        for k in range(1, 5):
+            self.run_to(t, 1)
+            store.save(t)
+        assert store.latest_iteration() == 4
+        assert store.iterations() == [3, 4]  # 1 and 2 collected
+        assert verify_checkpoint(store.path_for(4))["iteration"] == 4
+
+    def test_restore_prefers_newest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        t = make_trainer()
+        self.run_to(t, 1)
+        store.save(t)
+        self.run_to(t, 1)
+        store.save(t)
+        fresh = make_trainer(seed=9)
+        result = store.restore(fresh)
+        assert result.iteration == 2
+        assert result.optimizer_restored is True
+        assert result.skipped == []
+        assert fresh.iteration == 2
+
+    def test_restore_skips_corrupted_newest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep_last=3)
+        t = make_trainer()
+        self.run_to(t, 1)
+        store.save(t)
+        self.run_to(t, 1)
+        store.save(t)
+        # Bit-rot lands on the newest committed checkpoint.
+        path = os.path.join(store.path_for(2), "model.npz")
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        fresh = make_trainer(seed=9)
+        result = store.restore(fresh)
+        assert result.iteration == 1
+        assert [it for it, _ in result.skipped] == [2]
+
+    def test_restore_with_nothing_usable(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(CheckpointNotFoundError):
+            store.restore(make_trainer())
+        t = make_trainer()
+        self.run_to(t, 1)
+        store.save(t)
+        os.remove(os.path.join(store.path_for(1), "model.npz"))
+        with pytest.raises(CheckpointNotFoundError, match="failed"):
+            store.restore(make_trainer())
+
+    def test_interrupted_commit_never_moves_latest(self, tmp_path):
+        stage_to_fail = {"stage": None}
+
+        def fault(iteration, stage):
+            if stage == stage_to_fail["stage"]:
+                raise RuntimeError(f"crash at {stage}")
+
+        store = CheckpointStore(str(tmp_path), keep_last=5,
+                                save_fault=fault)
+        t = make_trainer()
+        self.run_to(t, 1)
+        store.save(t)
+        for stage in ("write", "pre-commit", "post-commit", "pre-latest"):
+            self.run_to(t, 1)
+            stage_to_fail["stage"] = stage
+            with pytest.raises(RuntimeError):
+                store.save(t)
+            stage_to_fail["stage"] = None
+            latest = store.latest_iteration()
+            assert latest is not None
+            # LATEST always names a checkpoint that verifies.
+            verify_checkpoint(store.path_for(latest))
+            assert latest == 1
+
+    def test_keep_last_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path), keep_last=0)
 
 
 class TestTrainerExtensions:

@@ -143,6 +143,101 @@ class TestGoodput:
         assert "error" in capsys.readouterr().err
 
 
+CHAOS_FAST = ["chaos", "--iterations", "6", "--every", "2",
+              "--backoff", "0.001"]
+
+
+class TestChaos:
+    def test_kill_and_resume_bit_exact(self, capsys):
+        rc = main([*CHAOS_FAST, "--kill-at", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 restarts" in out
+        assert "bit-exact vs uninterrupted run: losses=True  " \
+               "parameters=True" in out
+
+    def test_corrupt_newest_falls_back_and_exits_zero(self, capsys):
+        rc = main([*CHAOS_FAST, "--kill-at", "5", "--corrupt", "4",
+                   "--iterations", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 corrupted checkpoints skipped" in out
+        assert "losses=True" in out
+
+    def test_fast_smoke_defaults(self, capsys):
+        rc = main(["chaos", "--fast", "--backoff", "0.001"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 kills, 1 corruptions, 1 transient save failures" in out
+        assert "parameters=True" in out
+
+    def test_permanent_kill_reshards(self, capsys):
+        rc = main([*CHAOS_FAST, "--kill-at", "3", "--permanent"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[resharded]" in out
+        assert "resharded resume vs single-rank reference" in out
+        assert "losses=True" in out and "parameters=True" in out
+
+    def test_trace_out_written(self, tmp_path, capsys):
+        out = tmp_path / "chaos_trace.json"
+        rc = main([*CHAOS_FAST, "--kill-at", "3", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "chaos.*" in text and "phase" in text
+
+    def test_plan_file(self, tmp_path, capsys):
+        from repro.resilience import ChaosPlan, Kill, SaveFailure
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(ChaosPlan(
+            kills=(Kill(at_iteration=3),),
+            save_failures=(SaveFailure(at_iteration=2, times=1),),
+        ).to_json())
+        rc = main([*CHAOS_FAST, "--plan", str(plan)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 transient save retries" in out
+        assert "losses=True" in out
+
+    def test_checkpoint_dir_usable_after_run(self, tmp_path, capsys):
+        from repro.parallel.checkpoint import (
+            CheckpointStore,
+            verify_checkpoint,
+        )
+
+        rc = main([*CHAOS_FAST, "--kill-at", "3",
+                   "--dir", str(tmp_path)])
+        assert rc == 0
+        store = CheckpointStore(str(tmp_path))
+        latest = store.latest_iteration()
+        assert latest == 6
+        verify_checkpoint(store.path_for(latest))
+
+    def test_bad_kill_at_reports_error(self, capsys):
+        rc = main([*CHAOS_FAST, "--kill-at", "three"])
+        assert rc == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_bad_save_fail_reports_error(self, capsys):
+        rc = main([*CHAOS_FAST, "--save-fail", "2:zero"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_plan_file_reports_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{broken")
+        rc = main([*CHAOS_FAST, "--plan", str(plan)])
+        assert rc == 2
+        assert "unparseable" in capsys.readouterr().err
+
+    def test_invalid_parallel_reports_error(self, capsys):
+        rc = main([*CHAOS_FAST, "-p", "3"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestVerify:
     def test_fast_suite_passes(self, capsys):
         rc = main(["verify", "--fast"])
@@ -150,8 +245,15 @@ class TestVerify:
         out = capsys.readouterr().out
         assert "verification PASSED" in out
         for section in ("schedules", "sanitizer", "conformance",
-                        "conservation"):
+                        "conservation", "chaos"):
             assert section in out
+
+    def test_only_chaos_section(self, capsys):
+        rc = main(["verify", "--fast", "--only", "chaos"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bit-exact-resume" in out and "corrupt-fallback" in out
+        assert "[ok] conformance" not in out  # other sections skipped
 
     def test_single_case(self, capsys):
         rc = main(["verify", "--case",
