@@ -25,7 +25,19 @@ Subcommands:
   checkpoint corruption, transient save errors), recover
   automatically, and prove the recovered run matches the uninterrupted
   reference (:mod:`repro.resilience.harness`);
+- ``bench``     — the performance observatory's unified benchmark
+  runner: steady-state timing of the registered micro/macro scenarios
+  (and optionally the ``benchmarks/bench_*.py`` pytest suites) into a
+  schema-versioned ``BENCH_<label>.json``, plus the noise-aware
+  regression gate ``--compare OLD NEW`` (:mod:`repro.obs.bench`);
+- ``report``    — render the perf trajectory recorded by one or more
+  BENCH files as a TTY or ``--html`` dashboard (:mod:`repro.obs.report`);
 - ``experiments`` — alias for ``python -m repro.experiments``.
+
+Output conventions: every tracing-capable subcommand (``trace``,
+``goodput``, ``chaos``, ``bench``) accepts ``--metrics-out PATH``
+writing the same metrics-JSON schema
+(:meth:`repro.obs.MetricsRegistry.as_dict`).
 
 Configuration errors (bad model shapes, infeasible parallel configs,
 unwritable output paths) are mapped onto a clean ``error: ...`` message
@@ -175,12 +187,26 @@ def _cmd_trace(args) -> int:
             return 1
     print()
     print(phase_summary(tracer))
+    if args.profile or args.folded:
+        from repro.obs import profile_tracer, write_folded
+
+        profile = profile_tracer(tracer)
+        if args.profile:
+            print()
+            print(profile.hot_table(args.top))
+            for rank in sorted(profile.ranks):
+                rp = profile.ranks[rank]
+                assert rp.self_sum_ns == rp.wall_ns  # exact attribution
+        if args.folded:
+            write_folded(profile, args.folded)
+            print(f"\nwrote {args.folded} ({len(profile.folded)} stacks; "
+                  "feed to flamegraph.pl or speedscope)")
     write_chrome_trace(tracer, args.out)
     print(f"\nwrote {args.out} ({len(tracer)} spans; open in Perfetto or "
           "chrome://tracing)")
-    if args.metrics:
-        write_metrics(tracer, args.metrics)
-        print(f"wrote {args.metrics}")
+    if args.metrics_out:
+        write_metrics(tracer, args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -263,11 +289,19 @@ def _cmd_goodput(args) -> int:
     print(f"failure trace    : rank failures at iterations "
           f"{[f.at_iteration for f in plan.failures]} of {total} "
           f"(checkpoint every {interval_iters} iterations)")
-    if args.out:
+    if args.out or args.metrics_out:
         with trace() as tracer:
             report = simulate_goodput(
                 iter_time, total, interval_iters, policy, plan
             )
+        if args.metrics_out:
+            from repro.obs import write_metrics
+
+            write_metrics(tracer, args.metrics_out)
+            print(f"wrote {args.metrics_out}")
+        if not args.out:
+            print(report.describe())
+            return 0
         write_chrome_trace(tracer, args.out)
         # Each resilience span carries its modelled duration in a
         # ``seconds`` counter; summing counters reproduces the report's
@@ -405,6 +439,11 @@ def _cmd_chaos(args) -> int:
                   "phases are chaos.*)")
             print()
             print(phase_summary(tracer))
+        if args.metrics_out:
+            from repro.obs import write_metrics
+
+            write_metrics(tracer, args.metrics_out)
+            print(f"wrote {args.metrics_out}")
 
     if args.no_verify:
         return 0
@@ -445,6 +484,99 @@ def _cmd_chaos(args) -> int:
             print("error: resharded resume deviates from the single-rank "
                   "reference", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import (
+        SCENARIOS,
+        bench_metrics_registry,
+        compare_reports,
+        discover_suites,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        old, new = load_report(old_path), load_report(new_path)
+        if old.env.as_dict() != new.env.as_dict():
+            print("note: environment fingerprints differ between reports")
+        result = compare_reports(old, new, min_rel=args.threshold)
+        print(f"compare {old.label} ({old_path}) -> {new.label} ({new_path})")
+        print(result.describe())
+        return 0 if result.ok else 1
+
+    if args.list:
+        print("scenarios:")
+        for name in sorted(SCENARIOS):
+            sc = SCENARIOS[name]
+            fast = "" if sc.fast else "  (skipped by --fast)"
+            print(f"  {name}  [{sc.kind}]{fast}")
+        suites = discover_suites()
+        print(f"suites ({len(suites)} discovered, run with --suites):")
+        for path in suites:
+            print(f"  {path.name}")
+        return 0
+
+    report = run_bench(
+        fast=args.fast,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+        label=args.label,
+        filter_substr=args.filter,
+        suites=args.suites,
+        progress=print,
+    )
+    if not report.records:
+        print("error: no scenarios matched", file=sys.stderr)
+        return 2
+    print()
+    header = (f"{'scenario':<32} {'median':>11} {'mad':>10} "
+              f"{'ci95':>23} {'runs':>5}")
+    print(header)
+    print("-" * len(header))
+    for rec in report.records:
+        s = rec.stats
+        ci = f"[{s.ci_low:.6f}, {s.ci_high:.6f}]"
+        print(f"{rec.name:<32} {s.median:>11.6f} {s.mad:>10.6f} "
+              f"{ci:>23} {len(s.samples):>5}")
+        if rec.metrics:
+            pairs = "  ".join(
+                f"{k}={v:.6g}" for k, v in sorted(rec.metrics.items())
+            )
+            print(f"{'':<32} {pairs}")
+    print("-" * len(header))
+    env = report.env
+    print(f"env: python={env.python} numpy={env.numpy} git={env.git_sha} "
+          f"cpus={env.cpu_count} ({env.platform})")
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out} (schema v{report.schema_version}, "
+              f"{len(report.records)} records)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(bench_metrics_registry(report).to_json())
+        print(f"wrote {args.metrics_out}")
+    failed = [r for r in report.records
+              if r.kind == "suite" and r.metrics.get("exit_code", 0) != 0]
+    for rec in failed:
+        print(f"error: suite {rec.name} exited non-zero", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.bench import load_report
+    from repro.obs.report import render_html, render_text
+
+    reports = [load_report(path) for path in args.files]
+    print(render_text(reports))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(reports))
+        print(f"\nwrote {args.html}")
     return 0
 
 
@@ -528,8 +660,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--out", default="trace.json",
                          help="Chrome-trace output path")
-    p_trace.add_argument("--metrics", default=None,
-                         help="also dump the metrics registry as JSON")
+    p_trace.add_argument("--metrics-out", "--metrics", dest="metrics_out",
+                         default=None,
+                         help="also dump the metrics registry as JSON "
+                              "(shared schema across subcommands)")
+    p_trace.add_argument("--profile", action="store_true",
+                         help="print the span profiler's self/total "
+                              "hot-path table")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="rows in the --profile table")
+    p_trace.add_argument("--folded", default=None,
+                         help="write folded stacks (flamegraph collapse "
+                              "format) to this path")
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.set_defaults(func=_cmd_trace)
 
@@ -560,7 +702,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="length of the replayed run, iterations")
     p_good.add_argument("--out", default=None,
                         help="write a Chrome trace of the replayed run")
+    p_good.add_argument("--metrics-out", dest="metrics_out", default=None,
+                        help="dump the replay's metrics registry as JSON "
+                             "(shared schema across subcommands)")
     p_good.set_defaults(func=_cmd_goodput)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="unified benchmark runner: BENCH_*.json trajectory + "
+             "noise-aware regression gate",
+    )
+    p_bench.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke: fewer repeats, fast-marked scenarios only",
+    )
+    p_bench.add_argument("--out", default=None,
+                         help="write the BENCH_<label>.json report here")
+    p_bench.add_argument("--label", default="run",
+                         help="report label (baseline, pr, ...)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="steady-state samples per scenario "
+                              "(default 7, or 3 with --fast)")
+    p_bench.add_argument("--warmup", type=int, default=None,
+                         help="trimmed warmup runs per scenario "
+                              "(default 2, or 1 with --fast)")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="bootstrap resampling seed")
+    p_bench.add_argument("--filter", default=None,
+                         help="run only scenarios whose name contains this")
+    p_bench.add_argument(
+        "--suites", default=None, metavar="GLOB",
+        help="also execute matching benchmarks/bench_*.py pytest suites "
+             "as timed subprocess smoke runs ('*' for all)",
+    )
+    p_bench.add_argument("--list", action="store_true",
+                         help="list scenarios and discovered suites, "
+                              "then exit")
+    p_bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="noise-aware regression gate between two BENCH files; "
+             "exits 1 on regression",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative regression floor for --compare (default 0.10)",
+    )
+    p_bench.add_argument("--metrics-out", dest="metrics_out", default=None,
+                         help="dump bench results in the shared "
+                              "metrics-JSON schema")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="render the perf trajectory of one or more BENCH files",
+    )
+    p_rep.add_argument("files", nargs="+",
+                       help="BENCH_*.json files, oldest first")
+    p_rep.add_argument("--html", default=None,
+                       help="also write a static HTML dashboard")
+    p_rep.set_defaults(func=_cmd_report)
 
     p_ver = sub.add_parser(
         "verify",
@@ -664,6 +864,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--out", default=None,
                          help="write a Chrome trace of the run, including "
                               "failure/recovery spans")
+    p_chaos.add_argument("--metrics-out", dest="metrics_out", default=None,
+                         help="dump the run's metrics registry as JSON "
+                              "(shared schema across subcommands)")
     p_chaos.add_argument(
         "--fast", action="store_true",
         help="CI smoke: inject one kill + one corruption + one transient "

@@ -23,6 +23,8 @@ from .adapters import TracerFlopMeter, flop_adapter, replay_traffic_log
 from .export import (
     chrome_trace,
     chrome_trace_events,
+    counter_events,
+    metrics_counter_events,
     metrics_json,
     phase_summary,
     validate_chrome_trace,
@@ -30,12 +32,29 @@ from .export import (
     write_metrics,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    ProfileReport,
+    RankProfile,
+    SpanStat,
+    folded_stacks,
+    profile_tracer,
+    write_folded,
+)
+from .telemetry import (
+    MemoryBreakdown,
+    ThroughputReport,
+    sample_memory,
+    sample_throughput,
+    throughput_report,
+)
 from .tracer import (
     GLOBAL_RANK,
+    CounterSample,
     Span,
     Tracer,
     current_tracer,
     record_transfer,
+    sample,
     span,
     trace,
     tracing_active,
@@ -43,10 +62,12 @@ from .tracer import (
 
 __all__ = [
     "GLOBAL_RANK",
+    "CounterSample",
     "Span",
     "Tracer",
     "trace",
     "span",
+    "sample",
     "current_tracer",
     "tracing_active",
     "record_transfer",
@@ -59,9 +80,22 @@ __all__ = [
     "replay_traffic_log",
     "chrome_trace",
     "chrome_trace_events",
+    "counter_events",
+    "metrics_counter_events",
     "write_chrome_trace",
     "phase_summary",
     "metrics_json",
     "write_metrics",
     "validate_chrome_trace",
+    "ProfileReport",
+    "RankProfile",
+    "SpanStat",
+    "profile_tracer",
+    "folded_stacks",
+    "write_folded",
+    "ThroughputReport",
+    "MemoryBreakdown",
+    "throughput_report",
+    "sample_throughput",
+    "sample_memory",
 ]

@@ -32,9 +32,64 @@ def _tid(rank: int) -> int:
     return _GLOBAL_TID if rank == GLOBAL_RANK else rank
 
 
-def chrome_trace_events(tracer: Tracer, time_scale: float = 1e6) -> list[dict]:
-    """Spans as Chrome ``trace_event`` dicts (metadata + complete events).
+def counter_events(tracer: Tracer, time_scale: float = 1e6) -> list[dict]:
+    """Counter samples as Chrome ``ph: "C"`` events (time-ordered).
 
+    Each :class:`~repro.obs.tracer.CounterSample` series becomes one
+    counter track in Perfetto (memory bytes, MFU, tokens/s, ...),
+    rendered alongside the rank's spans.
+    """
+    ordered = sorted(
+        enumerate(tracer.samples), key=lambda kv: (kv[1].t, kv[0])
+    )
+    return [
+        {
+            "name": s.name,
+            "cat": "counter",
+            "ph": "C",
+            "pid": 0,
+            "tid": _tid(s.rank),
+            "ts": s.t * time_scale,
+            "args": {"value": s.value},
+        }
+        for _, s in ordered
+    ]
+
+
+def metrics_counter_events(tracer: Tracer, at: float,
+                           time_scale: float = 1e6,
+                           prefixes: tuple[str, ...] = ()) -> list[dict]:
+    """The registry's gauges and counters as one ``ph: "C"`` snapshot.
+
+    Metrics that were never sampled as a time series (plain registry
+    gauges/counters) still deserve a point on the timeline; this dumps
+    them all at time ``at`` (typically the trace end), optionally
+    filtered to dotted-name ``prefixes``.
+    """
+    snap: dict[str, float] = {}
+    snap.update({k: c.value for k, c in tracer.metrics.counters.items()})
+    snap.update({k: g.value for k, g in tracer.metrics.gauges.items()})
+    return [
+        {
+            "name": name,
+            "cat": "counter",
+            "ph": "C",
+            "pid": 0,
+            "tid": _GLOBAL_TID,
+            "ts": at * time_scale,
+            "args": {"value": value},
+        }
+        for name, value in sorted(snap.items())
+        if not prefixes or name.startswith(prefixes)
+    ]
+
+
+def chrome_trace_events(tracer: Tracer, time_scale: float = 1e6) -> list[dict]:
+    """Spans + counter samples as Chrome ``trace_event`` dicts.
+
+    Metadata events name each rank's track; every span becomes one
+    complete (``"ph": "X"``) event and every counter sample one
+    ``"ph": "C"`` event, merged into one ascending-timestamp stream.
     ``time_scale`` converts span times (seconds by default) to the
     format's microseconds.
     """
@@ -47,7 +102,9 @@ def chrome_trace_events(tracer: Tracer, time_scale: float = 1e6) -> list[dict]:
             "args": {"name": "repro"},
         }
     ]
-    ranks = sorted({s.rank for s in tracer.spans})
+    ranks = sorted(
+        {s.rank for s in tracer.spans} | {s.rank for s in tracer.samples}
+    )
     for rank in ranks:
         label = "global" if rank == GLOBAL_RANK else f"rank {rank}"
         events.append(
@@ -59,13 +116,14 @@ def chrome_trace_events(tracer: Tracer, time_scale: float = 1e6) -> list[dict]:
                 "args": {"name": label},
             }
         )
+    timed: list[dict] = []
     spans = sorted(tracer.spans, key=lambda s: (s.start, s.index))
     for s in spans:
         if not s.closed:
             raise ValueError(f"span {s.name!r} is still open; cannot export")
         args: dict = {"phase": s.phase, "depth": s.depth}
         args.update(s.counters)
-        events.append(
+        timed.append(
             {
                 "name": s.name,
                 "cat": s.phase or "span",
@@ -77,6 +135,12 @@ def chrome_trace_events(tracer: Tracer, time_scale: float = 1e6) -> list[dict]:
                 "args": args,
             }
         )
+    timed.extend(counter_events(tracer, time_scale))
+    # One ascending-ts stream, as the format requires; the sort is
+    # stable so same-timestamp spans keep creation order and counter
+    # samples land after the span that produced them.
+    timed.sort(key=lambda e: e["ts"])
+    events.extend(timed)
     return events
 
 
@@ -142,8 +206,9 @@ def write_metrics(tracer: Tracer, path: str) -> None:
 def validate_chrome_trace(obj: dict) -> None:
     """Raise ValueError if ``obj`` violates the trace_event schema
     subset we emit: complete ``X`` events with non-negative durations,
-    timestamps sorted ascending, every tid introduced by a
-    ``thread_name`` metadata event."""
+    counter ``C`` events with numeric args series, timestamps sorted
+    ascending across both, every tid introduced by a ``thread_name``
+    metadata event."""
     events = obj.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
@@ -155,15 +220,30 @@ def validate_chrome_trace(obj: dict) -> None:
             if e.get("name") == "thread_name":
                 named_tids.add(e["tid"])
             continue
-        if ph != "X":
+        if ph == "C":
+            for key in ("name", "ts", "pid", "tid", "args"):
+                if key not in e:
+                    raise ValueError(f"C event missing {key!r}: {e}")
+            args = e["args"]
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"C event args must be a non-empty dict: {e}")
+            for series, value in args.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(
+                        f"C event series {series!r} must be numeric: {e}"
+                    )
+        elif ph == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in e:
+                    raise ValueError(f"X event missing {key!r}: {e}")
+            if e["dur"] < 0:
+                raise ValueError(f"negative duration: {e}")
+        else:
             raise ValueError(f"unexpected event phase {ph!r}")
-        for key in ("name", "ts", "dur", "pid", "tid"):
-            if key not in e:
-                raise ValueError(f"X event missing {key!r}: {e}")
-        if e["dur"] < 0:
-            raise ValueError(f"negative duration: {e}")
         if e["ts"] < last_ts:
-            raise ValueError("X event timestamps are not sorted")
+            raise ValueError("event timestamps are not sorted")
         last_ts = e["ts"]
         if e["tid"] not in named_tids:
             raise ValueError(f"tid {e['tid']} has no thread_name metadata")

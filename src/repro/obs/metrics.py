@@ -66,16 +66,32 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile of the observed samples, q in [0, 100]."""
+        """Nearest-rank percentile of the observed samples, q in [0, 100].
+
+        Raises :class:`ValueError` on an empty histogram: a percentile
+        of nothing has no value, and silently returning 0 would make a
+        missing measurement indistinguishable from a zero-duration one
+        (the bench statistics depend on this distinction).
+        """
         if not 0 <= q <= 100:
             raise ValueError("q must be in [0, 100]")
         if not self.samples:
-            return 0.0
+            raise ValueError(
+                "empty histogram has no percentiles; observe() at least "
+                "one sample first (check .count before querying)"
+            )
         ordered = sorted(self.samples)
         rank = min(len(ordered) - 1, int(q / 100 * len(ordered)))
         return ordered[rank]
 
     def summary(self) -> dict:
+        """Distribution summary dict.
+
+        An empty histogram summarizes to ``{"count": 0, "sum": 0.0}``
+        and nothing else — no NaN/zero placeholders for order
+        statistics that do not exist (the same contract as
+        :meth:`percentile`, which raises when empty).
+        """
         if self.count == 0:
             return {"count": 0, "sum": 0.0}
         return {
@@ -84,7 +100,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p10": self.percentile(10),
             "p50": self.percentile(50),
+            "p90": self.percentile(90),
             "p99": self.percentile(99),
         }
 

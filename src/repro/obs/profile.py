@@ -1,0 +1,208 @@
+"""Span profiler: self/total attribution, hot paths, flamegraphs.
+
+Post-processes a :class:`~repro.obs.tracer.Tracer` into the classic
+profiler views:
+
+- **self vs total time per span name** — *total* is the span's full
+  duration (children included), *self* is what remains after
+  subtracting the time covered by nested child spans.  Nesting is
+  recovered from interval containment per rank track, so it works for
+  live spans (LIFO-nested by construction) and simulated spans
+  (laminar list-scheduled windows) alike;
+- **hot-path tables** — top-N span names by self time, the "where did
+  the iteration actually go" answer behind the paper's §3 compute /
+  bubble / communication decomposition;
+- **folded stacks** — the semicolon-separated ``collapse`` format
+  consumed by flamegraph.pl and speedscope, one line per unique
+  root→leaf path weighted by self time.
+
+Times are quantized to integer nanoseconds before attribution.  That
+makes the headline invariant *exact* (integer arithmetic, no float
+rounding): per rank, the sum of self times over all spans equals the
+sum of root-span durations — every traced nanosecond is attributed to
+exactly one span, the accounting twin of PR 2's bit-for-bit goodput
+sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tracer import GLOBAL_RANK, Span, Tracer
+
+#: quantization: span times (seconds) -> integer nanoseconds.
+_NS = 1_000_000_000
+
+
+def _ns(t: float) -> int:
+    return round(t * _NS)
+
+
+def rank_label(rank: int) -> str:
+    return "global" if rank == GLOBAL_RANK else f"rank {rank}"
+
+
+@dataclass
+class SpanStat:
+    """Aggregated attribution for one span name on one rank track."""
+
+    name: str
+    rank: int
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_ns / _NS
+
+    @property
+    def self_seconds(self) -> float:
+        return self.self_ns / _NS
+
+
+@dataclass
+class RankProfile:
+    """Attribution for one rank track."""
+
+    rank: int
+    wall_ns: int = 0  # sum of root-span durations (total traced time)
+    stats: dict[str, SpanStat] = field(default_factory=dict)
+
+    @property
+    def self_sum_ns(self) -> int:
+        """Sum of self times; equals :attr:`wall_ns` exactly."""
+        return sum(s.self_ns for s in self.stats.values())
+
+
+@dataclass
+class ProfileReport:
+    """The profiler's output: per-rank attribution + folded stacks."""
+
+    ranks: dict[int, RankProfile] = field(default_factory=dict)
+    #: "rank 0;iteration;forward" -> self nanoseconds, aggregated over
+    #: every occurrence of that call path.
+    folded: dict[str, int] = field(default_factory=dict)
+
+    def by_name(self) -> list[SpanStat]:
+        """Cross-rank aggregation by span name, hottest (self) first."""
+        merged: dict[str, SpanStat] = {}
+        for rp in self.ranks.values():
+            for st in rp.stats.values():
+                agg = merged.setdefault(
+                    st.name, SpanStat(name=st.name, rank=GLOBAL_RANK)
+                )
+                agg.count += st.count
+                agg.total_ns += st.total_ns
+                agg.self_ns += st.self_ns
+        return sorted(
+            merged.values(), key=lambda s: (-s.self_ns, s.name)
+        )
+
+    def hot_table(self, n: int = 10) -> str:
+        """Top-N hot span names by self time, as a flat-text table."""
+        rows = self.by_name()[:n]
+        wall = sum(rp.wall_ns for rp in self.ranks.values())
+        header = (
+            f"{'span':<28} {'count':>7} {'self':>12} {'total':>12} {'self%':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for st in rows:
+            pct = 100.0 * st.self_ns / wall if wall else 0.0
+            lines.append(
+                f"{st.name:<28} {st.count:>7} {st.self_seconds:>12.6f} "
+                f"{st.total_seconds:>12.6f} {pct:>6.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def _attribute_rank(rank: int, spans: list[Span], report: ProfileReport) -> None:
+    """Containment-based attribution of one rank's spans."""
+    rp = report.ranks.setdefault(rank, RankProfile(rank=rank))
+    # Parents sort before their children: earlier start first, and on
+    # equal starts the longer (enclosing) span first; creation order
+    # breaks exact ties (a zero-length child inside a zero-length
+    # parent).
+    ordered = sorted(spans, key=lambda s: (s.start, -(s.end or 0.0), s.index))
+    # stack entries: [span, start_ns, end_ns, child_ns_sum, path]
+    open_spans: list[list] = []
+
+    def pop_top() -> None:
+        entry = open_spans.pop()
+        _close(entry, rp, report)
+        if open_spans:  # credit the closed span's duration to its parent
+            open_spans[-1][3] += entry[2] - entry[1]
+
+    for s in ordered:
+        if not s.closed:
+            raise ValueError(f"span {s.name!r} is still open; cannot profile")
+        start_ns, end_ns = _ns(s.start), _ns(s.end)
+        while open_spans and open_spans[-1][2] <= start_ns:
+            pop_top()
+        if open_spans and end_ns > open_spans[-1][2]:
+            top = open_spans[-1][0]
+            raise ValueError(
+                f"spans overlap without nesting on {rank_label(rank)}: "
+                f"{s.name!r} [{s.start:.9f}, {s.end:.9f}] vs "
+                f"{top.name!r} ending at {top.end:.9f}"
+            )
+        if open_spans:
+            path = open_spans[-1][4] + ";" + s.name
+        else:
+            path = rank_label(rank) + ";" + s.name
+            rp.wall_ns += end_ns - start_ns
+        open_spans.append([s, start_ns, end_ns, 0, path])
+    while open_spans:
+        pop_top()
+
+
+def _close(entry: list, rp: RankProfile, report: ProfileReport) -> None:
+    span, start_ns, end_ns, child_sum, path = entry
+    dur = end_ns - start_ns
+    self_ns = dur - child_sum
+    st = rp.stats.setdefault(
+        span.name, SpanStat(name=span.name, rank=rp.rank)
+    )
+    st.count += 1
+    st.total_ns += dur
+    st.self_ns += self_ns
+    report.folded[path] = report.folded.get(path, 0) + self_ns
+
+
+def profile_tracer(tracer: Tracer) -> ProfileReport:
+    """Attribute every traced nanosecond to exactly one span.
+
+    Returns a :class:`ProfileReport`; per rank,
+    ``sum(self) == sum(root durations)`` holds as an integer identity.
+    """
+    by_rank: dict[int, list[Span]] = {}
+    for s in tracer.spans:
+        by_rank.setdefault(s.rank, []).append(s)
+    report = ProfileReport()
+    for rank in sorted(by_rank):
+        _attribute_rank(rank, by_rank[rank], report)
+    return report
+
+
+def folded_stacks(report: ProfileReport, *, unit_divisor: int = 1000) -> str:
+    """The report's call paths in flamegraph ``collapse`` format.
+
+    One ``path value`` line per unique root→leaf path, value in
+    integer microseconds by default (``unit_divisor=1000`` from
+    nanoseconds); pipe into ``flamegraph.pl`` or open in speedscope.
+    Zero-weight paths are kept (they document structure) unless the
+    quantized value rounds to zero *and* the raw self time was zero.
+    """
+    lines = []
+    for path in sorted(report.folded):
+        value = report.folded[path] // unit_divisor
+        if value <= 0 and report.folded[path] > 0:
+            value = 1  # don't erase real-but-tiny frames entirely
+        lines.append(f"{path} {value}")
+    return "\n".join(lines)
+
+
+def write_folded(report: ProfileReport, path: str, *,
+                 unit_divisor: int = 1000) -> None:
+    with open(path, "w") as f:
+        f.write(folded_stacks(report, unit_divisor=unit_divisor) + "\n")

@@ -1,0 +1,153 @@
+"""Perf-dashboard rendering over one or more BENCH_*.json files.
+
+``python -m repro report BENCH_a.json BENCH_b.json ...`` renders the
+perf trajectory those files record: per-scenario median timings across
+reports (oldest → newest, with trend arrows), the extra metrics each
+scenario carries (simulated MFU / TFLOP-per-GPU vs the paper's Table 1
+numbers, tokens/s), and the environment fingerprints — as a flat TTY
+table or a dependency-free static HTML page (``--html``).
+"""
+
+from __future__ import annotations
+
+import html
+import time
+
+from .bench import BenchReport
+
+
+def _trend(values: list[float | None]) -> str:
+    """Arrow between the last two present values."""
+    present = [v for v in values if v is not None]
+    if len(present) < 2:
+        return " "
+    prev, last = present[-2], present[-1]
+    if prev == 0:
+        return " "
+    rel = last / prev - 1.0
+    if rel > 0.10:
+        return "▲"  # slower
+    if rel < -0.10:
+        return "▼"  # faster
+    return "≈"
+
+
+def _scenario_rows(reports: list[BenchReport]):
+    names: list[str] = []
+    for rep in reports:
+        for rec in rep.records:
+            if rec.name not in names:
+                names.append(rec.name)
+    rows = []
+    for name in sorted(names):
+        medians = [
+            (rec.stats.median if (rec := rep.record(name)) else None)
+            for rep in reports
+        ]
+        rows.append((name, medians))
+    return rows
+
+
+def render_text(reports: list[BenchReport]) -> str:
+    """The TTY dashboard."""
+    if not reports:
+        raise ValueError("no BENCH reports given")
+    lines = []
+    lines.append("perf trajectory: " + " -> ".join(r.label for r in reports))
+    for rep in reports:
+        created = time.strftime("%Y-%m-%d %H:%M",
+                                time.localtime(rep.created_unix))
+        lines.append(
+            f"  {rep.label}: {created}  git={rep.env.git_sha}  "
+            f"py={rep.env.python} numpy={rep.env.numpy} "
+            f"cpus={rep.env.cpu_count}"
+        )
+    lines.append("")
+    width = max(12, *(len(r.label) for r in reports)) + 1
+    header = f"{'scenario (median s)':<32}" + "".join(
+        f"{r.label:>{width}}" for r in reports
+    ) + "  trend"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, medians in _scenario_rows(reports):
+        cells = "".join(
+            f"{m:>{width}.6f}" if m is not None else f"{'-':>{width}}"
+            for m in medians
+        )
+        lines.append(f"{name:<32}{cells}      {_trend(medians)}")
+    # Extra metrics from the newest report (MFU & friends).
+    newest = reports[-1]
+    extras = [(rec.name, rec.metrics) for rec in newest.records if rec.metrics]
+    if extras:
+        lines.append("")
+        lines.append(f"metrics ({newest.label}):")
+        for name, metrics in extras:
+            pairs = "  ".join(f"{k}={v:.6g}" for k, v in sorted(metrics.items()))
+            lines.append(f"  {name:<32} {pairs}")
+    return "\n".join(lines)
+
+
+def render_html(reports: list[BenchReport]) -> str:
+    """A static, dependency-free HTML dashboard."""
+    if not reports:
+        raise ValueError("no BENCH reports given")
+    e = html.escape
+    head = """<!doctype html>
+<html><head><meta charset="utf-8"><title>repro perf observatory</title>
+<style>
+ body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem; color: #222; }
+ table { border-collapse: collapse; margin: 1rem 0; }
+ th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: right; }
+ th:first-child, td:first-child { text-align: left; }
+ caption { text-align: left; font-weight: 600; padding: .3rem 0; }
+ .up { color: #b00020; } .down { color: #00701a; } .flat { color: #666; }
+ code { background: #f4f4f4; padding: 0 .25rem; }
+</style></head><body>
+<h1>Performance observatory</h1>
+"""
+    parts = [head]
+    parts.append("<table><caption>Reports</caption>"
+                 "<tr><th>label</th><th>created</th><th>git</th>"
+                 "<th>python</th><th>numpy</th><th>cpus</th></tr>")
+    for rep in reports:
+        created = time.strftime("%Y-%m-%d %H:%M",
+                                time.localtime(rep.created_unix))
+        parts.append(
+            f"<tr><td>{e(rep.label)}</td><td>{created}</td>"
+            f"<td><code>{e(rep.env.git_sha)}</code></td>"
+            f"<td>{e(rep.env.python)}</td><td>{e(rep.env.numpy)}</td>"
+            f"<td>{rep.env.cpu_count}</td></tr>"
+        )
+    parts.append("</table>")
+
+    parts.append("<table><caption>Median seconds per scenario</caption><tr>"
+                 "<th>scenario</th>"
+                 + "".join(f"<th>{e(r.label)}</th>" for r in reports)
+                 + "<th>trend</th></tr>")
+    for name, medians in _scenario_rows(reports):
+        arrow = _trend(medians)
+        klass = {"▲": "up", "▼": "down"}.get(arrow, "flat")
+        cells = "".join(
+            f"<td>{m:.6f}</td>" if m is not None else "<td>-</td>"
+            for m in medians
+        )
+        parts.append(
+            f"<tr><td>{e(name)}</td>{cells}"
+            f"<td class=\"{klass}\">{arrow}</td></tr>"
+        )
+    parts.append("</table>")
+
+    newest = reports[-1]
+    extras = [(rec.name, rec.metrics) for rec in newest.records if rec.metrics]
+    if extras:
+        parts.append(f"<table><caption>Metrics ({e(newest.label)})</caption>"
+                     "<tr><th>scenario</th><th>metric</th><th>value</th></tr>")
+        for name, metrics in extras:
+            for k, v in sorted(metrics.items()):
+                parts.append(
+                    f"<tr><td>{e(name)}</td><td>{e(k)}</td>"
+                    f"<td>{v:.6g}</td></tr>"
+                )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

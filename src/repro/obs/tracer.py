@@ -45,6 +45,22 @@ from .metrics import MetricsRegistry
 GLOBAL_RANK = -1
 
 
+@dataclass(frozen=True)
+class CounterSample:
+    """One timestamped value of a named counter series on one rank.
+
+    The time-series twin of a :class:`~repro.obs.metrics.Gauge`: gauges
+    keep only the last value, samples keep ``(t, value)`` pairs so
+    memory/throughput timelines can be rendered as Chrome-trace counter
+    (``ph: "C"``) tracks next to the spans.
+    """
+
+    name: str
+    rank: int
+    t: float
+    value: float
+
+
 @dataclass
 class Span:
     """One traced interval on one virtual rank's timeline."""
@@ -90,6 +106,7 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] | None = None):
         self.clock = clock if clock is not None else time.perf_counter
         self.spans: list[Span] = []
+        self.samples: list[CounterSample] = []
         self.metrics = MetricsRegistry()
         self._stack: list[Span] = []
         self._epoch: float | None = None
@@ -157,6 +174,34 @@ class Tracer:
         self.spans.append(span)
         return span
 
+    # -- counter time series -------------------------------------------------
+    def sample(self, name: str, value: float, rank: int = GLOBAL_RANK,
+               t: float | None = None) -> CounterSample:
+        """Record one point of a counter time series.
+
+        ``t`` follows the two clock regimes of spans: omitted, it reads
+        the tracer's clock (live, epoch-normalized like :meth:`begin`);
+        explicit, it is a simulated-timeline timestamp.  The last value
+        per series is mirrored into the metrics registry as a gauge so
+        point-in-time queries don't have to scan the series.
+        """
+        if t is None:
+            now = self.clock()
+            if self._epoch is None:
+                self._epoch = now
+            t = now - self._epoch
+        s = CounterSample(name=name, rank=rank, t=t, value=float(value))
+        self.samples.append(s)
+        self.metrics.gauge(name).set(value)
+        return s
+
+    def series(self, name: str, rank: int | None = None) -> list[CounterSample]:
+        """All samples of one series, time-ordered as recorded."""
+        return [
+            s for s in self.samples
+            if s.name == name and (rank is None or s.rank == rank)
+        ]
+
     # -- attribution hooks ---------------------------------------------------
     @property
     def current(self) -> Span | None:
@@ -223,6 +268,14 @@ def record_transfer(nbytes: int, kind: str) -> None:
     """
     for tracer in _ACTIVE:
         tracer.on_transfer(nbytes, kind)
+
+
+def sample(name: str, value: float, rank: int = GLOBAL_RANK,
+           t: float | None = None) -> None:
+    """Record a counter sample on the current tracer (no-op when
+    tracing is off — the same single-check null path as :func:`span`)."""
+    if _ACTIVE:
+        _ACTIVE[-1].sample(name, value, rank=rank, t=t)
 
 
 @contextlib.contextmanager

@@ -21,12 +21,15 @@ integration tests assert for many (p, t, d, v) combinations.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.comm import ProcessGroups, TrafficLog
 from repro.config import GPTConfig, ParallelConfig
 from repro.nn import Adam
 from repro.obs import span as obs_span
+from repro.obs.tracer import current_tracer
 from repro.schedule import make_schedule
 
 from .data_parallel import all_reduce_gradients, scatter_batch
@@ -93,6 +96,7 @@ class PTDTrainer:
             raise ValueError("loss_scale must be positive")
         self.grad_clip_norm = grad_clip_norm
         self.loss_scale = loss_scale
+        self.recompute_activations = recompute_activations
         self.last_grad_norm: float | None = None
         self.iteration = 0
         #: Callables invoked with the trainer at the top of every
@@ -119,6 +123,8 @@ class PTDTrainer:
         m = self.parallel.num_microbatches
         shards = scatter_batch(ids, targets, d)
         losses = []
+        tracer = current_tracer()
+        step_start = time.perf_counter() if tracer is not None else 0.0
         with obs_span("iteration", phase="iteration", iteration=self.iteration):
             with obs_span("pipeline", phase="pipeline"):
                 for replica, (rid, rtgt) in zip(self.replicas, shards):
@@ -146,8 +152,45 @@ class PTDTrainer:
                     self._clip_gradients()
                 for opt in self.optimizers:
                     opt.step()
+        if tracer is not None:
+            self._publish_telemetry(tracer, time.perf_counter() - step_start)
         self.iteration += 1
         return float(np.mean(losses))
+
+    def _publish_telemetry(self, tracer, seconds: float) -> None:
+        """Table-1 throughput gauges + per-GPU memory counter samples.
+
+        Only runs under an active tracer (the untraced hot path pays a
+        single ``current_tracer()`` check).  FLOPs are the eq. (3)
+        closed form — the same number ``repro.verify``'s conservation
+        check pins to the FlopMeter — so trainer MFU, simulator MFU,
+        and the analytic model agree by construction; the *measured*
+        quantity is the wall-clock iteration time.
+        """
+        from repro.hardware import a100_80gb
+        from repro.obs.telemetry import (
+            MemoryBreakdown,
+            sample_memory,
+            sample_throughput,
+            throughput_report,
+        )
+        from repro.perf.memory import memory_footprint, parameters_per_rank
+
+        report = throughput_report(
+            self.config, self.parallel, seconds,
+            peak_flops=a100_80gb().peak_flops,
+            with_recompute=self.recompute_activations,
+        )
+        sample_throughput(tracer, report)
+        fp = memory_footprint(
+            self.config, self.parallel,
+            recompute=self.recompute_activations,
+        )
+        sample_memory(
+            tracer,
+            MemoryBreakdown(parameters_per_rank(self.config, self.parallel)),
+            fp.activations + fp.stage_inputs,
+        )
 
     def _clip_gradients(self) -> None:
         """Clip by the *global* gradient norm (Megatron semantics): the

@@ -380,6 +380,53 @@ def simulate_iteration(
         tracer.metrics.gauge("sim.pipeline_time").set(pipeline_time)
         tracer.metrics.counter("sim.model_flops").inc(model_flops)
 
+        # -- Table-1 throughput telemetry (simulated clock) -----------------
+        from repro.obs.telemetry import (
+            MemoryBreakdown,
+            sample_memory,
+            sample_throughput,
+            throughput_report,
+        )
+
+        sample_throughput(
+            tracer,
+            throughput_report(
+                config, parallel, iteration_time,
+                peak_flops=node.device.peak_flops,
+                with_recompute=options.recompute_activations,
+            ),
+            t=iteration_time,
+        )
+
+        # -- per-rank memory timelines (activation sawtooth) ----------------
+        # Each forward window stashes one microbatch's activations for
+        # its stage (only the stage input survives under recompute,
+        # §3.3); the matching backward frees them.  Model state is
+        # constant for the iteration.
+        from repro.perf.memory import (
+            activation_bytes_per_layer,
+            stage_input_bytes,
+        )
+
+        if options.recompute_activations:
+            stash_bytes = stage_input_bytes(
+                b, s, h, dtype_size=options.activation_dtype_size
+            )
+        else:
+            stash_bytes = layers_per_stage * activation_bytes_per_layer(
+                b, s, h, config.num_attention_heads, t,
+                dtype_size=options.activation_dtype_size,
+            )
+        breakdown = MemoryBreakdown(params_rank)
+        stashed = {r: 0 for r in pipe_ranks}
+        for r in pipe_ranks:
+            sample_memory(tracer, breakdown, 0, rank=r, t=0.0)
+        for w in sorted(timeline, key=lambda w: (w.end, w.start)):
+            r = stage_rank(w.stage)
+            delta = stash_bytes if w.kind is OpKind.FORWARD else -stash_bytes
+            stashed[r] += delta
+            tracer.sample("mem.activations.bytes", stashed[r], rank=r, t=w.end)
+
     return SimulationResult(
         iteration_time=iteration_time,
         pipeline_time=pipeline_time,

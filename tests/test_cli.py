@@ -339,3 +339,160 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+BENCH_FAST = ["bench", "--fast", "--repeats", "2", "--warmup", "0"]
+
+
+class TestBench:
+    def test_list(self, capsys):
+        rc = main(["bench", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenarios:" in out
+        assert "engine.train_step.p2d2" in out
+        assert "bench_trace_overhead.py" in out
+
+    def test_run_filtered_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_x.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([*BENCH_FAST, "--filter", "schedule",
+                   "--out", str(out), "--metrics-out", str(metrics),
+                   "--label", "x"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "schedule.interleaved.p8m64v4" in text
+        assert "env: python=" in text
+        import json as _json
+        rep = _json.loads(out.read_text())
+        assert rep["schema_version"] == 1 and rep["label"] == "x"
+        m = _json.loads(metrics.read_text())
+        assert "bench.schedule.interleaved.p8m64v4.seconds" in m["histograms"]
+
+    def test_no_match_exits_two(self, capsys):
+        rc = main([*BENCH_FAST, "--filter", "no.such.scenario"])
+        assert rc == 2
+        assert "no scenarios matched" in capsys.readouterr().err
+
+    def test_compare_gate_end_to_end(self, tmp_path, capsys):
+        import json as _json
+        from repro.obs.bench import load_report, write_report
+        old_path = tmp_path / "BENCH_old.json"
+        new_path = tmp_path / "BENCH_new.json"
+        rc = main([*BENCH_FAST, "--filter", "schedule",
+                   "--out", str(old_path), "--label", "old"])
+        assert rc == 0
+        # Identical re-use: jitter-free self-comparison passes.
+        rc = main(["bench", "--compare", str(old_path), str(old_path)])
+        assert rc == 0
+        assert "0 regressions" in capsys.readouterr().out
+        # Inject a 2x slowdown into a copy: the gate must fire.
+        rep = load_report(old_path)
+        d = rep.as_dict()
+        for rec in d["records"]:
+            st = rec["stats"]
+            for key in ("samples",):
+                st[key] = [2 * x for x in st[key]]
+            for key in ("median", "mad", "mean", "min", "max",
+                        "ci_low", "ci_high"):
+                st[key] = 2 * st[key]
+        d["label"] = "slow"
+        new_path.write_text(_json.dumps(d))
+        rc = main(["bench", "--compare", str(old_path), str(new_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "2.00x" in out
+
+    def test_compare_threshold_flag(self, tmp_path, capsys):
+        # With a sky-high floor even a 2x slowdown passes.
+        import json as _json
+        from repro.obs.bench import load_report
+        old_path = tmp_path / "BENCH_old.json"
+        main([*BENCH_FAST, "--filter", "schedule", "--out", str(old_path),
+              "--label", "old"])
+        d = load_report(old_path).as_dict()
+        for rec in d["records"]:
+            st = rec["stats"]
+            st["samples"] = [2 * x for x in st["samples"]]
+            for key in ("median", "mad", "mean", "min", "max",
+                        "ci_low", "ci_high"):
+                st[key] = 2 * st[key]
+        new_path = tmp_path / "BENCH_new.json"
+        new_path.write_text(_json.dumps(d))
+        capsys.readouterr()
+        rc = main(["bench", "--compare", str(old_path), str(new_path),
+                   "--threshold", "5.0"])
+        assert rc == 0
+
+
+class TestReport:
+    def test_text_and_html(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_a.json"
+        rc = main([*BENCH_FAST, "--filter", "schedule",
+                   "--out", str(path), "--label", "a"])
+        assert rc == 0
+        capsys.readouterr()
+        html = tmp_path / "dash.html"
+        rc = main(["report", str(path), str(path), "--html", str(html)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perf trajectory: a -> a" in out
+        assert "schedule.interleaved.p8m64v4" in out
+        text = html.read_text()
+        assert "<h1>Performance observatory</h1>" in text
+        assert "schedule.interleaved.p8m64v4" in text
+
+
+class TestMetricsOutUnified:
+    """Every tracing subcommand shares ``--metrics-out`` and its schema."""
+
+    def _check(self, path):
+        import json as _json
+        m = _json.loads(path.read_text())
+        assert set(m) == {"counters", "gauges", "histograms"}
+        return m
+
+    def test_trace_metrics_out_alias(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "trace", "--layers", "4", "--hidden", "32", "--heads", "4",
+            "--vocab", "64", "--seq", "16", "-p", "2", "--batch", "4",
+            "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        m = self._check(metrics)
+        assert "throughput.mfu" in m["gauges"]
+
+    def test_goodput_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main([*GOODPUT_FAST, "--metrics-out", str(metrics)])
+        assert rc == 0
+        self._check(metrics)
+
+    def test_chaos_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main(["chaos", "--fast", "--backoff", "0.001",
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        m = self._check(metrics)
+        assert "throughput.mfu" in m["gauges"]
+        assert "mem.activations.bytes" in m["gauges"]
+
+
+class TestTraceProfile:
+    def test_profile_and_folded(self, tmp_path, capsys):
+        folded = tmp_path / "trace.folded"
+        rc = main([
+            "trace", "--layers", "4", "--hidden", "32", "--heads", "4",
+            "--vocab", "64", "--seq", "16", "-p", "2", "--batch", "4",
+            "--profile", "--top", "5", "--folded", str(folded),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "self%" in out  # the hot-path table rendered
+        lines = folded.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            path_part, value = line.rsplit(" ", 1)
+            assert ";" in path_part
+            assert int(value) >= 0

@@ -421,3 +421,138 @@ class TestScheduleExecutorTrace:
         with trace(clock=ticker()) as tracer:
             execute(sched)  # no handler: dependency validation only
         assert len(tracer) == 0
+
+
+class TestHistogramContract:
+    def test_empty_percentile_raises(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError, match="empty histogram"):
+            h.percentile(50)
+
+    def test_empty_summary_has_no_order_statistics(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.summary() == {"count": 0, "sum": 0.0}
+
+    def test_summary_order_statistics(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 11):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["min"] == 1.0 and s["max"] == 10.0
+        assert s["p10"] == 2.0 and s["p90"] == 10.0
+        assert s["p50"] == 6.0
+        assert s["mean"] == 5.5
+
+    def test_bad_quantile_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="0, 100"):
+            h.percentile(101)
+
+
+class TestCounterSamples:
+    def test_explicit_time_series(self):
+        t = Tracer()
+        t.sample("mem.bytes", 10.0, rank=0, t=0.0)
+        t.sample("mem.bytes", 20.0, rank=0, t=1.0)
+        t.sample("mem.bytes", 5.0, rank=1, t=0.5)
+        series = t.series("mem.bytes", rank=0)
+        assert [(s.t, s.value) for s in series] == [(0.0, 10.0), (1.0, 20.0)]
+        assert len(t.series("mem.bytes")) == 3
+        # Last value mirrors into the gauge for point queries.
+        assert t.metrics.gauge("mem.bytes").value == 5.0
+
+    def test_live_samples_share_span_epoch(self):
+        with trace(clock=ticker()) as t:
+            with span("iteration"):
+                t.sample("mfu", 0.5)
+        (s,) = t.samples
+        it = t.spans[0]
+        assert it.start <= s.t <= it.end
+
+    def test_module_level_sample_noop_when_inactive(self):
+        from repro.obs import sample
+        sample("nope", 1.0)  # must not raise, must not record anywhere
+        with trace(clock=ticker()) as t:
+            sample("yep", 2.0)
+        assert [s.name for s in t.samples] == ["yep"]
+
+
+class TestCounterEventExport:
+    def _traced(self):
+        with trace(clock=ticker()) as t:
+            with span("iteration", phase="iteration", rank=0):
+                pass
+            t.sample("mem.bytes", 7.0, rank=0, t=0.5)
+            t.sample("mfu", 0.4, t=2.0)
+        return t
+
+    def test_counter_events_time_ordered(self):
+        from repro.obs import counter_events
+        t = Tracer()
+        t.sample("a", 1.0, t=2.0)
+        t.sample("a", 2.0, t=1.0)
+        t.sample("b", 3.0, t=1.0)
+        events = counter_events(t)
+        assert [e["ts"] for e in events] == [1e6, 1e6, 2e6]
+        assert all(e["ph"] == "C" for e in events)
+        assert events[0]["args"] == {"value": 2.0}
+
+    def test_chrome_trace_merges_spans_and_counters(self):
+        obj = chrome_trace(self._traced())
+        validate_chrome_trace(obj)
+        events = obj["traceEvents"]
+        phs = {e["ph"] for e in events}
+        assert phs == {"M", "X", "C"}
+        timed = [e for e in events if e["ph"] in ("X", "C")]
+        assert timed == sorted(timed, key=lambda e: e["ts"])
+        # The sample on rank 0 shares the rank-0 track (tid).
+        mem = next(e for e in events if e.get("name") == "mem.bytes")
+        it = next(e for e in events if e.get("name") == "iteration")
+        assert mem["tid"] == it["tid"]
+
+    def test_sample_only_rank_gets_a_track(self):
+        t = Tracer()
+        t.sample("mem", 1.0, rank=5, t=0.0)
+        obj = chrome_trace(t)
+        validate_chrome_trace(obj)
+        names = {e["args"]["name"] for e in obj["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {"rank 5"}
+
+    def test_metrics_counter_events_snapshot(self):
+        from repro.obs import metrics_counter_events
+        t = Tracer()
+        t.metrics.gauge("throughput.mfu").set(0.5)
+        t.metrics.counter("flops.total").inc(100)
+        t.metrics.gauge("other.thing").set(1.0)
+        events = metrics_counter_events(
+            t, at=3.0, prefixes=("throughput.", "flops.")
+        )
+        assert [e["name"] for e in events] == ["flops.total", "throughput.mfu"]
+        assert all(e["ts"] == 3e6 and e["ph"] == "C" for e in events)
+
+    def test_validator_rejects_bad_counter_events(self):
+        base = chrome_trace(self._traced())
+
+        def with_extra(extra):
+            obj = json.loads(json.dumps(base))
+            obj["traceEvents"].append(extra)
+            return obj
+
+        tid = next(e["tid"] for e in base["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name")
+        ts = base["traceEvents"][-1]["ts"] + 1
+        ok = {"name": "c", "ph": "C", "pid": 0, "tid": tid, "ts": ts,
+              "args": {"value": 1.0}}
+        validate_chrome_trace(with_extra(ok))
+        with pytest.raises(ValueError, match="non-empty dict"):
+            validate_chrome_trace(with_extra({**ok, "args": {}}))
+        with pytest.raises(ValueError, match="must be numeric"):
+            validate_chrome_trace(with_extra({**ok, "args": {"v": True}}))
+        with pytest.raises(ValueError, match="must be numeric"):
+            validate_chrome_trace(with_extra({**ok, "args": {"v": "hi"}}))
+        with pytest.raises(ValueError, match="not sorted"):
+            validate_chrome_trace(with_extra({**ok, "ts": -1.0}))
+        with pytest.raises(ValueError, match="unexpected event phase"):
+            validate_chrome_trace(with_extra({**ok, "ph": "Q"}))

@@ -1,0 +1,189 @@
+"""Tests for the span profiler (repro.obs.profile).
+
+The headline invariant: per rank track, the sum of self times over all
+spans equals the sum of root-span durations as an *integer* identity —
+every traced nanosecond is attributed to exactly one span.  Verified
+here on a deterministic ticker-clock fixture (with a golden folded
+output), on a real engine trace, and on simulated timelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ParallelConfig, tiny_test_model
+from repro.obs import GLOBAL_RANK, Tracer, trace
+from repro.obs.profile import (
+    folded_stacks,
+    profile_tracer,
+    rank_label,
+    write_folded,
+)
+from repro.parallel import PTDTrainer
+
+
+def ticker_clock():
+    """Deterministic clock: each call advances one second."""
+    t = [0.0]
+
+    def clock():
+        t[0] += 1.0
+        return t[0]
+
+    return clock
+
+
+def nested_fixture():
+    """iteration( forward( gemm ), backward ) with 1s ticks.
+
+    Durations (s): iteration 7, forward 3, gemm 1, backward 1.
+    Self times (s): iteration 3, forward 2, gemm 1, backward 1.
+    """
+    tracer = Tracer(clock=ticker_clock())
+    with tracer.span("iteration"):
+        with tracer.span("forward"):
+            with tracer.span("gemm"):
+                pass
+        with tracer.span("backward"):
+            pass
+    return tracer
+
+
+class TestExactAccounting:
+    def test_ticker_fixture_self_times(self):
+        report = profile_tracer(nested_fixture())
+        rp = report.ranks[GLOBAL_RANK]
+        s = {name: st for name, st in rp.stats.items()}
+        sec = 1_000_000_000
+        assert s["iteration"].total_ns == 7 * sec
+        assert s["iteration"].self_ns == 3 * sec
+        assert s["forward"].total_ns == 3 * sec
+        assert s["forward"].self_ns == 2 * sec
+        assert s["gemm"].self_ns == s["gemm"].total_ns == 1 * sec
+        assert s["backward"].self_ns == 1 * sec
+        # The invariant, exactly: wall == sum(self).
+        assert rp.wall_ns == 7 * sec
+        assert rp.self_sum_ns == rp.wall_ns
+
+    def test_live_engine_trace_accounts_every_nanosecond(self):
+        config = tiny_test_model(num_layers=4, hidden_size=32,
+                                 num_attention_heads=4, vocab_size=64,
+                                 seq_length=16)
+        parallel = ParallelConfig(
+            pipeline_parallel_size=2, tensor_parallel_size=1,
+            data_parallel_size=2, microbatch_size=1, global_batch_size=4,
+        )
+        rng = np.random.default_rng(0)
+        shape = (4, config.seq_length)
+        ids = rng.integers(0, 64, size=shape)
+        targets = rng.integers(0, 64, size=shape)
+        with trace() as tracer:
+            PTDTrainer(config, parallel).train_step(ids, targets)
+        report = profile_tracer(tracer)
+        assert len(tracer.spans) > 10
+        assert len(report.ranks) >= 1
+        for rp in report.ranks.values():
+            assert rp.wall_ns > 0
+            assert rp.self_sum_ns == rp.wall_ns  # exact, integer
+
+    def test_simulated_laminar_timeline(self):
+        # Sibling windows on one rank (a list-scheduled pipeline stage):
+        # every span is a root; nested windows attribute to parents.
+        tracer = Tracer()
+        tracer.add_span("fwd.0", "forward", 0, 0.0, 1.5)
+        tracer.add_span("bwd.0", "backward", 0, 1.5, 3.5)
+        tracer.add_span("stage", "", 1, 0.0, 10.0)
+        tracer.add_span("inner", "", 1, 2.0, 4.0)
+        report = profile_tracer(tracer)
+        r0, r1 = report.ranks[0], report.ranks[1]
+        assert r0.wall_ns == int(3.5e9)
+        assert r0.self_sum_ns == r0.wall_ns
+        assert r1.wall_ns == int(10e9)
+        assert r1.stats["stage"].self_ns == int(8e9)
+        assert r1.stats["inner"].self_ns == int(2e9)
+
+    def test_repeated_names_aggregate(self):
+        tracer = Tracer()
+        for i in range(3):
+            tracer.add_span("fwd", "forward", 0, float(i), i + 0.5)
+        report = profile_tracer(tracer)
+        st = report.ranks[0].stats["fwd"]
+        assert st.count == 3
+        assert st.total_ns == st.self_ns == 3 * int(0.5e9)
+
+
+class TestErrors:
+    def test_partial_overlap_rejected(self):
+        tracer = Tracer()
+        tracer.add_span("a", "", 0, 0.0, 2.0)
+        tracer.add_span("b", "", 0, 1.0, 3.0)
+        with pytest.raises(ValueError, match="overlap without nesting"):
+            profile_tracer(tracer)
+
+    def test_open_span_rejected(self):
+        tracer = Tracer()
+        tracer.begin("never.closed")
+        with pytest.raises(ValueError, match="still open"):
+            profile_tracer(tracer)
+
+    def test_overlap_on_other_rank_is_independent(self):
+        # Overlap detection is per rank track.
+        tracer = Tracer()
+        tracer.add_span("a", "", 0, 0.0, 2.0)
+        tracer.add_span("b", "", 1, 1.0, 3.0)
+        report = profile_tracer(tracer)
+        assert set(report.ranks) == {0, 1}
+
+
+class TestFolded:
+    GOLDEN = "\n".join([
+        "global;iteration 3000000",
+        "global;iteration;backward 1000000",
+        "global;iteration;forward 2000000",
+        "global;iteration;forward;gemm 1000000",
+    ])
+
+    def test_golden_folded_output(self):
+        assert folded_stacks(profile_tracer(nested_fixture())) == self.GOLDEN
+
+    def test_write_folded(self, tmp_path):
+        path = tmp_path / "trace.folded"
+        write_folded(profile_tracer(nested_fixture()), str(path))
+        assert path.read_text() == self.GOLDEN + "\n"
+
+    def test_folded_values_sum_to_wall(self):
+        report = profile_tracer(nested_fixture())
+        assert sum(report.folded.values()) == report.ranks[GLOBAL_RANK].wall_ns
+
+    def test_tiny_but_real_frames_not_erased(self):
+        tracer = Tracer()
+        tracer.add_span("blip", "", 0, 0.0, 100e-9)  # 100 ns < 1 µs
+        folded = folded_stacks(profile_tracer(tracer))
+        assert folded == "rank 0;blip 1"
+
+    def test_rank_labels(self):
+        assert rank_label(GLOBAL_RANK) == "global"
+        assert rank_label(3) == "rank 3"
+
+
+class TestReportViews:
+    def test_by_name_merges_ranks_hottest_first(self):
+        tracer = Tracer()
+        tracer.add_span("fwd", "forward", 0, 0.0, 1.0)
+        tracer.add_span("fwd", "forward", 1, 0.0, 2.0)
+        tracer.add_span("bwd", "backward", 0, 1.0, 1.5)
+        report = profile_tracer(tracer)
+        by_name = report.by_name()
+        assert [s.name for s in by_name] == ["fwd", "bwd"]
+        assert by_name[0].count == 2
+        assert by_name[0].self_ns == int(3e9)
+
+    def test_hot_table_shape(self):
+        table = profile_tracer(nested_fixture()).hot_table(n=3)
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + 3 rows
+        assert "self%" in lines[0]
+        assert lines[2].split()[0] == "iteration"
+        # self% column sums to 100 over *all* spans (4 rows here).
+        full = profile_tracer(nested_fixture()).hot_table(n=10)
+        pcts = [float(l.split()[-1].rstrip("%")) for l in full.splitlines()[2:]]
+        assert sum(pcts) == pytest.approx(100.0, abs=0.05)
