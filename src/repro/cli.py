@@ -32,6 +32,12 @@ Subcommands:
   regression gate ``--compare OLD NEW`` (:mod:`repro.obs.bench`);
 - ``report``    — render the perf trajectory recorded by one or more
   BENCH files as a TTY or ``--html`` dashboard (:mod:`repro.obs.report`);
+- ``monitor``   — mission control for registered run logs
+  (:mod:`repro.obs.runlog`): TTY dashboard with sparklines / per-rank
+  health / alert feed, ``--follow`` live tailing, ``--list``/``--gc``
+  registry management, and a ``--check`` batch gate that exits
+  non-zero on unacknowledged critical alerts
+  (:mod:`repro.obs.monitor`);
 - ``experiments`` — alias for ``python -m repro.experiments``.
 
 Output conventions: every tracing-capable subcommand (``trace``,
@@ -135,6 +141,8 @@ def _cmd_schedule(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    import contextlib
+
     from repro.obs import phase_summary, trace, write_chrome_trace, write_metrics
 
     model = _model_from(args)
@@ -147,6 +155,37 @@ def _cmd_trace(args) -> int:
         num_model_chunks=args.chunks,
     )
     parallel.validate_for_model(model)
+    with contextlib.ExitStack() as stack:
+        logger = None
+        if args.runlog:
+            from repro.obs.runlog import RunRegistry, run_logging
+
+            registry = RunRegistry(args.runlog)
+            logger, log_fh = registry.create(args.mode)
+            stack.enter_context(contextlib.closing(log_fh))
+            logger.start(
+                args.mode,
+                model={"layers": model.num_layers,
+                       "hidden": model.hidden_size,
+                       "heads": model.num_attention_heads,
+                       "vocab": model.vocab_size,
+                       "seq": model.seq_length},
+                parallel={"p": parallel.pipeline_parallel_size,
+                          "t": parallel.tensor_parallel_size,
+                          "d": parallel.data_parallel_size,
+                          "B": parallel.global_batch_size},
+            )
+            stack.enter_context(run_logging(logger))
+        rc = _run_trace(args, model, parallel)
+        if logger is not None:
+            logger.end("completed" if rc == 0 else "failed")
+            print(f"run log: {registry.events_path(logger.run_id)}")
+    return rc
+
+
+def _run_trace(args, model, parallel) -> int:
+    from repro.obs import phase_summary, trace, write_chrome_trace, write_metrics
+
     if args.mode == "sim":
         from repro.sim import SimOptions, simulate_iteration
 
@@ -346,7 +385,9 @@ def _chaos_plan_from_args(args):
         ChaosPlan,
         CorruptCheckpoint,
         Kill,
+        LossSpike,
         SaveFailure,
+        Stall,
     )
 
     if args.plan is not None:
@@ -373,8 +414,26 @@ def _chaos_plan_from_args(args):
             ))
         except ValueError as exc:
             raise ValueError(f"bad --save-fail entry {spec!r}: {exc}")
+    loss_spikes = tuple(
+        LossSpike(at_iteration=k)
+        for k in _parse_int_list(args.loss_spike or "", "--loss-spike")
+    )
+    stalls = []
+    for spec in (args.stall or "").split(","):
+        spec = spec.strip()
+        if not spec:
+            continue
+        at, _, rank = spec.partition(":")
+        try:
+            stalls.append(Stall(
+                at_iteration=int(at), seconds=args.stall_seconds,
+                rank=int(rank) if rank else None,
+            ))
+        except ValueError as exc:
+            raise ValueError(f"bad --stall entry {spec!r}: {exc}")
     return ChaosPlan(kills=kills, corruptions=corruptions,
-                     save_failures=tuple(save_failures))
+                     save_failures=tuple(save_failures),
+                     loss_spikes=loss_spikes, stalls=tuple(stalls))
 
 
 def _cmd_chaos(args) -> int:
@@ -393,7 +452,8 @@ def _cmd_chaos(args) -> int:
     )
 
     if args.fast and not (args.plan or args.kill_at or args.corrupt
-                          or args.save_fail):
+                          or args.save_fail or args.loss_spike
+                          or args.stall):
         # The CI smoke: one of everything on the default tiny run.
         args.kill_at, args.corrupt, args.save_fail = "5", "4", "2:1"
     plan = _chaos_plan_from_args(args)
@@ -424,15 +484,68 @@ def _cmd_chaos(args) -> int:
         )
         print(f"model: {config}")
         print(f"parallel: {parallel.describe()}  schedule={args.schedule}")
-        print(f"chaos plan: {len(plan.kills)} kills, "
-              f"{len(plan.corruptions)} corruptions, "
-              f"{len(plan.save_failures)} transient save failures")
+        summary = (f"chaos plan: {len(plan.kills)} kills, "
+                   f"{len(plan.corruptions)} corruptions, "
+                   f"{len(plan.save_failures)} transient save failures")
+        if plan.loss_spikes or plan.stalls:
+            summary += (f", {len(plan.loss_spikes)} loss spikes, "
+                        f"{len(plan.stalls)} stalls")
+        print(summary)
         print(f"checkpoints: every {args.every} iterations, "
               f"keep last {args.keep_last}, under {directory}")
         print()
-        with trace() as tracer:
-            report = harness.run()
+        logger = None
+        runlog_ctx = contextlib.nullcontext()
+        if args.monitor and not args.runlog:
+            raise ValueError("--monitor needs --runlog DIR (the run log is "
+                             "what the detectors watch)")
+        if args.runlog:
+            from repro.obs.runlog import RunRegistry, run_logging
+
+            registry = RunRegistry(args.runlog)
+            logger, log_fh = registry.create("chaos")
+            stack.enter_context(contextlib.closing(log_fh))
+            logger.start(
+                "chaos",
+                model={"layers": config.num_layers,
+                       "hidden": config.hidden_size,
+                       "heads": config.num_attention_heads,
+                       "vocab": config.vocab_size,
+                       "seq": config.seq_length},
+                parallel={"p": parallel.pipeline_parallel_size,
+                          "t": parallel.tensor_parallel_size,
+                          "d": parallel.data_parallel_size,
+                          "B": parallel.global_batch_size},
+            )
+            runlog_ctx = run_logging(logger)
+        try:
+            with trace() as tracer, runlog_ctx:
+                report = harness.run()
+        except Exception:
+            if logger is not None and not logger.closed:
+                logger.end("failed")
+            raise
+        if logger is not None:
+            logger.end("completed")
+            events_path = registry.events_path(logger.run_id)
+            print(f"run log: {events_path} "
+                  f"(tail with `python -m repro monitor --runs "
+                  f"{args.runlog}`)")
         print(report.describe())
+        if args.monitor:
+            from repro.obs.monitor import run_monitor, score_run
+            from repro.obs.runlog import read_events
+
+            events = read_events(events_path)
+            monitor = run_monitor(events)
+            print()
+            for alert in monitor.alerts:
+                print(alert.describe())
+            board = score_run(events, monitor.alerts)
+            print()
+            print(board.describe())
+            if args.metrics_out:
+                board.publish(tracer.metrics)
         if args.out:
             write_chrome_trace(tracer, args.out)
             print(f"\nwrote {args.out} ({len(tracer)} spans; recovery "
@@ -571,12 +684,121 @@ def _cmd_report(args) -> int:
     from repro.obs.bench import load_report
     from repro.obs.report import render_html, render_text
 
+    if not args.files:
+        print("no BENCH files given -- nothing to report.")
+        print("produce one with `python -m repro bench --fast "
+              "--out BENCH_baseline.json`, then render the trajectory "
+              "with `python -m repro report BENCH_*.json` "
+              "(oldest first).")
+        return 0
     reports = [load_report(path) for path in args.files]
     print(render_text(reports))
+    if len(reports) == 1:
+        print()
+        print("note: single report -- trend arrows appear once two or "
+              "more BENCH files are given, oldest first.")
     if args.html:
         with open(args.html, "w", encoding="utf-8") as fh:
             fh.write(render_html(reports))
         print(f"\nwrote {args.html}")
+    return 0
+
+
+def _follow_monitor(path: str, acks: set[str], poll: float) -> int:
+    """Live-tail one run log, re-rendering the dashboard per batch of
+    events, until the run ends (``run-end`` observed)."""
+    import time as _time
+
+    from repro.obs.monitor import Monitor, render_dashboard
+    from repro.obs.runlog import parse_events
+
+    monitor = Monitor()
+    pending = ""
+    with open(path, "r", encoding="utf-8") as fh:
+        while True:
+            chunk = fh.read()
+            if chunk:
+                pending += chunk
+                lines = pending.split("\n")
+                pending = lines.pop()  # hold back a partial tail line
+                for event in parse_events(lines):
+                    monitor.observe(event)
+                # Clear + home, then the refreshed dashboard.
+                print("\x1b[2J\x1b[H" + render_dashboard(monitor),
+                      flush=True)
+            if monitor.status != "running":
+                break
+            _time.sleep(poll)
+    unack = monitor.unacknowledged_critical(acks)
+    return 1 if unack else 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.obs.monitor import render_dashboard, run_monitor, score_run
+    from repro.obs.runlog import RunRegistry, read_events
+
+    registry = RunRegistry(args.runs)
+    if args.list:
+        infos = registry.list()
+        if not infos:
+            print(f"no runs under {args.runs}")
+            return 0
+        for info in infos:
+            print(info.describe())
+        latest = registry.latest()
+        if latest is not None:
+            print(f"LATEST -> {latest}")
+        return 0
+    if args.gc is not None:
+        dropped = registry.gc(args.gc)
+        if dropped:
+            print(f"dropped {len(dropped)} runs: {', '.join(dropped)}")
+        else:
+            print("nothing to drop")
+        return 0
+    run_id = args.run or registry.latest()
+    if run_id is None:
+        raise ValueError(
+            f"no runs under {args.runs} (and no RUN given); start one "
+            "with `python -m repro chaos --fast --runlog "
+            f"{args.runs}`"
+        )
+    path = registry.events_path(run_id)
+    acks = set(args.ack or ())
+    if args.follow:
+        return _follow_monitor(path, acks, args.poll)
+    events = read_events(path)
+    monitor = run_monitor(events)
+    if args.check:
+        unack = monitor.unacknowledged_critical(acks)
+        print(f"run {run_id}: {monitor.events_seen} events, "
+              f"{len(monitor.alerts)} alerts, {len(unack)} critical "
+              f"unacknowledged")
+        for alert in monitor.alerts:
+            suffix = ""
+            if (alert.severity == "critical"
+                    and monitor.acknowledged(alert, acks)):
+                suffix = "  [ack]"
+            print("  " + alert.describe() + suffix)
+        if unack:
+            print("error: unacknowledged critical alerts "
+                  "(acknowledge with --ack DETECTOR)", file=sys.stderr)
+            return 1
+        return 0
+    print(render_dashboard(monitor))
+    if args.score or args.metrics_out:
+        board = score_run(events, monitor.alerts)
+        if args.score:
+            print()
+            print(board.describe())
+        if args.metrics_out:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+            board.publish(metrics)
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(metrics.to_json())
+            print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -672,6 +894,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--folded", default=None,
                          help="write folded stacks (flamegraph collapse "
                               "format) to this path")
+    p_trace.add_argument(
+        "--runlog", default=None, metavar="DIR",
+        help="register the traced run under DIR and stream run-log "
+             "events (iterations, heartbeats) into it",
+    )
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.set_defaults(func=_cmd_trace)
 
@@ -756,7 +983,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="render the perf trajectory of one or more BENCH files",
     )
-    p_rep.add_argument("files", nargs="+",
+    p_rep.add_argument("files", nargs="*",
                        help="BENCH_*.json files, oldest first")
     p_rep.add_argument("--html", default=None,
                        help="also write a static HTML dashboard")
@@ -856,6 +1083,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated k[:times] entries: the checkpoint save at "
              "iteration k fails transiently `times` times",
     )
+    p_chaos.add_argument(
+        "--loss-spike", default=None,
+        help="comma-separated iterations whose *reported* loss is blown "
+             "up (telemetry-layer fault; training is untouched)",
+    )
+    p_chaos.add_argument(
+        "--stall", default=None,
+        help="comma-separated k[:rank] entries: stall the reported "
+             "telemetry at iteration k -- whole-job without :rank "
+             "(throughput collapse), one replica with it (straggler)",
+    )
+    p_chaos.add_argument("--stall-seconds", type=float, default=5.0,
+                         help="reported stall duration per --stall entry")
+    p_chaos.add_argument(
+        "--runlog", default=None, metavar="DIR",
+        help="register this run under DIR (runs/<id>/events.jsonl + "
+             "LATEST pointer) and stream run-log events into it",
+    )
+    p_chaos.add_argument(
+        "--monitor", action="store_true",
+        help="after the run, replay its run log through the anomaly "
+             "detectors and print the alert feed + detector scoreboard "
+             "(precision/recall/latency vs the injected ground truth); "
+             "needs --runlog",
+    )
     p_chaos.add_argument("--backoff", type=float, default=0.05,
                          help="base save-retry backoff, seconds (doubles "
                               "per attempt, capped)")
@@ -878,6 +1130,48 @@ def build_parser() -> argparse.ArgumentParser:
              "uninterrupted reference run",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_mon = sub.add_parser(
+        "monitor",
+        help="mission control: dashboard / batch health check over a "
+             "registered run log",
+    )
+    p_mon.add_argument(
+        "run", nargs="?", default=None,
+        help="run id under --runs (default: the LATEST pointer)",
+    )
+    p_mon.add_argument("--runs", default="runs",
+                       help="run registry root (default: runs/)")
+    p_mon.add_argument("--list", action="store_true",
+                       help="list registered runs and exit")
+    p_mon.add_argument("--gc", type=int, default=None, metavar="KEEP",
+                       help="drop all but the newest KEEP runs and exit")
+    p_mon.add_argument(
+        "--check", action="store_true",
+        help="batch mode: print the alert feed and exit 1 if any "
+             "critical alert is unacknowledged (CI gate)",
+    )
+    p_mon.add_argument(
+        "--ack", action="append", default=None, metavar="DETECTOR",
+        help="acknowledge every alert from this detector (repeatable); "
+             "in-log `ack` events count too",
+    )
+    p_mon.add_argument(
+        "--follow", action="store_true",
+        help="live-tail the run log, re-rendering the dashboard until "
+             "the run ends",
+    )
+    p_mon.add_argument("--poll", type=float, default=0.5,
+                       help="--follow poll interval, seconds")
+    p_mon.add_argument(
+        "--score", action="store_true",
+        help="print the detector scoreboard (needs injected ground "
+             "truth, i.e. a chaos run log)",
+    )
+    p_mon.add_argument("--metrics-out", dest="metrics_out", default=None,
+                       help="dump the scoreboard in the shared "
+                            "metrics-JSON schema")
+    p_mon.set_defaults(func=_cmd_monitor)
 
     p_sched = sub.add_parser("schedule", help="render a schedule timeline")
     p_sched.add_argument(

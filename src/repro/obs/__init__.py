@@ -20,6 +20,35 @@ active every instrumentation hook short-circuits on an empty list.
 """
 
 from .adapters import TracerFlopMeter, flop_adapter, replay_traffic_log
+from .monitor import (
+    Alert,
+    CheckpointHealthDetector,
+    Detector,
+    DetectorScore,
+    HeartbeatGapDetector,
+    LossSpikeDetector,
+    Monitor,
+    Scoreboard,
+    StragglerDetector,
+    ThroughputCollapseDetector,
+    default_detectors,
+    render_dashboard,
+    run_monitor,
+    score_run,
+    sparkline,
+)
+from .runlog import (
+    RUNLOG_SCHEMA_VERSION,
+    RunInfo,
+    RunLogError,
+    RunLogger,
+    RunRegistry,
+    current_run_logger,
+    manifest_of,
+    parse_events,
+    read_events,
+    run_logging,
+)
 from .export import (
     chrome_trace,
     chrome_trace_events,
@@ -98,4 +127,29 @@ __all__ = [
     "throughput_report",
     "sample_throughput",
     "sample_memory",
+    "RUNLOG_SCHEMA_VERSION",
+    "RunLogger",
+    "RunLogError",
+    "RunRegistry",
+    "RunInfo",
+    "current_run_logger",
+    "run_logging",
+    "read_events",
+    "parse_events",
+    "manifest_of",
+    "Alert",
+    "Detector",
+    "LossSpikeDetector",
+    "ThroughputCollapseDetector",
+    "StragglerDetector",
+    "HeartbeatGapDetector",
+    "CheckpointHealthDetector",
+    "default_detectors",
+    "Monitor",
+    "run_monitor",
+    "Scoreboard",
+    "DetectorScore",
+    "score_run",
+    "render_dashboard",
+    "sparkline",
 ]

@@ -29,6 +29,7 @@ from repro.comm import ProcessGroups, TrafficLog
 from repro.config import GPTConfig, ParallelConfig
 from repro.nn import Adam
 from repro.obs import span as obs_span
+from repro.obs.runlog import current_run_logger
 from repro.obs.tracer import current_tracer
 from repro.schedule import make_schedule
 
@@ -124,10 +125,18 @@ class PTDTrainer:
         shards = scatter_batch(ids, targets, d)
         losses = []
         tracer = current_tracer()
-        step_start = time.perf_counter() if tracer is not None else 0.0
+        runlog = current_run_logger()
+        observed = tracer is not None or runlog is not None
+        step_start = time.perf_counter() if observed else 0.0
+        rank_busy: dict[int, float] | None = {} if runlog is not None else None
         with obs_span("iteration", phase="iteration", iteration=self.iteration):
             with obs_span("pipeline", phase="pipeline"):
-                for replica, (rid, rtgt) in zip(self.replicas, shards):
+                for dp, (replica, (rid, rtgt)) in enumerate(
+                    zip(self.replicas, shards)
+                ):
+                    replica_start = (
+                        time.perf_counter() if rank_busy is not None else 0.0
+                    )
                     replica.zero_grad()
                     microbatches = make_microbatches(rid, rtgt, m)
                     losses.append(
@@ -135,6 +144,8 @@ class PTDTrainer:
                             microbatches, grad_scale=self.loss_scale / m
                         )
                     )
+                    if rank_busy is not None:
+                        rank_busy[dp] = time.perf_counter() - replica_start
             if d > 1:
                 with obs_span("grad-allreduce", phase="grad-allreduce"):
                     all_reduce_gradients(
@@ -152,10 +163,17 @@ class PTDTrainer:
                     self._clip_gradients()
                 for opt in self.optimizers:
                     opt.step()
-        if tracer is not None:
-            self._publish_telemetry(tracer, time.perf_counter() - step_start)
+        mean_loss = float(np.mean(losses))
+        if observed:
+            seconds = time.perf_counter() - step_start
+            if tracer is not None:
+                self._publish_telemetry(tracer, seconds)
+            if runlog is not None:
+                self._publish_runlog(
+                    runlog, mean_loss, seconds, rank_busy or {}
+                )
         self.iteration += 1
-        return float(np.mean(losses))
+        return mean_loss
 
     def _publish_telemetry(self, tracer, seconds: float) -> None:
         """Table-1 throughput gauges + per-GPU memory counter samples.
@@ -190,6 +208,36 @@ class PTDTrainer:
             tracer,
             MemoryBreakdown(parameters_per_rank(self.config, self.parallel)),
             fp.activations + fp.stage_inputs,
+        )
+
+    def _publish_runlog(self, runlog, loss: float, seconds: float,
+                        rank_busy: dict[int, float]) -> None:
+        """One run-log heartbeat round + iteration record.
+
+        ``rank_busy`` carries per-data-parallel-replica pipeline self
+        times (the live engine's per-rank span self-time proxy — the
+        replicas are the concurrently-schedulable units here).  Only
+        runs when a run logger is active; the bare hot path pays a
+        single ``current_run_logger()`` check
+        (``benchmarks/bench_monitor_overhead.py``).
+        """
+        from repro.hardware import a100_80gb
+
+        if not hasattr(self, "_runlog_flops"):
+            self._runlog_flops = self.config.flops_per_iteration(
+                self.parallel.global_batch_size,
+                with_recompute=self.recompute_activations,
+            )
+            self._runlog_peak = a100_80gb().peak_flops
+        world = self.parallel.world_size
+        tokens = self.parallel.global_batch_size * self.config.seq_length
+        runlog.heartbeat(range(world), self.iteration)
+        runlog.iteration(
+            self.iteration, loss, seconds,
+            tokens_per_s=tokens / seconds,
+            mfu=self._runlog_flops / world / seconds / self._runlog_peak,
+            grad_norm=self.last_grad_norm,
+            rank_busy=rank_busy,
         )
 
     def _clip_gradients(self) -> None:

@@ -33,8 +33,10 @@ from .chaos import (
     ChaosPlan,
     CorruptCheckpoint,
     Kill,
+    LossSpike,
     RankFailureError,
     SaveFailure,
+    Stall,
     TransientSaveError,
     corrupt_file,
 )
@@ -83,6 +85,8 @@ __all__ = [
     "Kill",
     "CorruptCheckpoint",
     "SaveFailure",
+    "LossSpike",
+    "Stall",
     "RankFailureError",
     "TransientSaveError",
     "corrupt_file",

@@ -20,6 +20,20 @@ species again, now with teeth:
   ``at_iteration`` boundary, before anything is published), modelling
   a flaky parallel filesystem the harness must retry through.
 
+Two further species are **telemetry-layer** faults: they perturb what
+the run *reports* into its :mod:`repro.obs.runlog` stream, not the
+training computation, so every bit-exactness guarantee of the harness
+is untouched while the anomaly detectors
+(:mod:`repro.obs.monitor`) get measurable ground truth:
+
+- :class:`LossSpike` — the reported loss at ``at_iteration`` is
+  multiplied by ``factor`` (a numeric blow-up as mission control would
+  see it);
+- :class:`Stall` — ``seconds`` of stall are added to the reported
+  iteration time (``rank=None``: whole-job stall, a throughput
+  collapse) or to one rank's reported busy time (``rank=r``: a
+  straggler).
+
 Plans round-trip through JSON (``python -m repro chaos --plan``).
 """
 
@@ -117,12 +131,62 @@ class SaveFailure:
 
 
 @dataclass(frozen=True)
+class LossSpike:
+    """Telemetry-layer fault: the loss *reported* at ``at_iteration``
+    is multiplied by ``factor``.  Training is untouched (bit-exactness
+    holds); only the run-log stream carries the blow-up."""
+
+    at_iteration: int
+    factor: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.at_iteration < 0:
+            raise ValueError(
+                f"at_iteration must be >= 0, got {self.at_iteration}"
+            )
+        if self.factor <= 1:
+            raise ValueError(f"factor must be > 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class Stall:
+    """Telemetry-layer fault: ``seconds`` of stall in the reported
+    telemetry for ``iterations`` consecutive records starting at
+    ``at_iteration``.  ``rank=None`` stretches the iteration time (a
+    throughput collapse); ``rank=r`` inflates only that rank's busy
+    time (a straggler).  The default span of 2 matches the stream
+    detectors, which demand the skew *persist* before alerting (one
+    jittery record is noise, not a straggler)."""
+
+    at_iteration: int
+    seconds: float = 1.0
+    rank: int | None = None
+    iterations: int = 2
+
+    def __post_init__(self) -> None:
+        if self.at_iteration < 0:
+            raise ValueError(
+                f"at_iteration must be >= 0, got {self.at_iteration}"
+            )
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {self.seconds}")
+        if self.rank is not None and self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+
+
+@dataclass(frozen=True)
 class ChaosPlan:
     """Everything that goes wrong during one *live* training run."""
 
     kills: tuple[Kill, ...] = ()
     corruptions: tuple[CorruptCheckpoint, ...] = ()
     save_failures: tuple[SaveFailure, ...] = ()
+    loss_spikes: tuple[LossSpike, ...] = ()
+    stalls: tuple[Stall, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -132,6 +196,8 @@ class ChaosPlan:
         )
         object.__setattr__(self, "corruptions", tuple(self.corruptions))
         object.__setattr__(self, "save_failures", tuple(self.save_failures))
+        object.__setattr__(self, "loss_spikes", tuple(self.loss_spikes))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
         seen = set()
         for sf in self.save_failures:
             if sf.at_iteration in seen:
@@ -139,14 +205,34 @@ class ChaosPlan:
                     f"duplicate save_failure at iteration {sf.at_iteration}"
                 )
             seen.add(sf.at_iteration)
+        seen = set()
+        for ls in self.loss_spikes:
+            if ls.at_iteration in seen:
+                raise ValueError(
+                    f"duplicate loss_spike at iteration {ls.at_iteration}"
+                )
+            seen.add(ls.at_iteration)
 
     @property
     def is_healthy(self) -> bool:
-        return not (self.kills or self.corruptions or self.save_failures)
+        return not (self.kills or self.corruptions or self.save_failures
+                    or self.loss_spikes or self.stalls)
 
     def corruptions_at(self, iteration: int) -> tuple[CorruptCheckpoint, ...]:
         return tuple(
             c for c in self.corruptions if c.at_iteration == iteration
+        )
+
+    def loss_spike_at(self, iteration: int) -> LossSpike | None:
+        for ls in self.loss_spikes:
+            if ls.at_iteration == iteration:
+                return ls
+        return None
+
+    def stalls_at(self, iteration: int) -> tuple[Stall, ...]:
+        return tuple(
+            s for s in self.stalls
+            if s.at_iteration <= iteration < s.at_iteration + s.iterations
         )
 
     def save_failure_budget(self) -> dict[int, int]:
@@ -161,6 +247,8 @@ class ChaosPlan:
                 "kills": [asdict(k) for k in self.kills],
                 "corruptions": [asdict(c) for c in self.corruptions],
                 "save_failures": [asdict(s) for s in self.save_failures],
+                "loss_spikes": [asdict(s) for s in self.loss_spikes],
+                "stalls": [asdict(s) for s in self.stalls],
             },
             indent=2,
         )
@@ -173,7 +261,9 @@ class ChaosPlan:
             raise ValueError(f"unparseable chaos plan: {exc}") from exc
         if not isinstance(raw, dict):
             raise ValueError("chaos plan must be a JSON object")
-        unknown = set(raw) - {"kills", "corruptions", "save_failures"}
+        unknown = set(raw) - {
+            "kills", "corruptions", "save_failures", "loss_spikes", "stalls",
+        }
         if unknown:
             raise ValueError(
                 f"unknown chaos plan keys: {', '.join(sorted(unknown))}"
@@ -198,6 +288,10 @@ class ChaosPlan:
             save_failures=build(
                 SaveFailure, raw.get("save_failures", ()), "save_failure"
             ),
+            loss_spikes=build(
+                LossSpike, raw.get("loss_spikes", ()), "loss_spike"
+            ),
+            stalls=build(Stall, raw.get("stalls", ()), "stall"),
         )
 
 

@@ -34,10 +34,22 @@ Every recovery action is emitted as a :mod:`repro.obs` span (phases
 ``chaos.*``), so a chaos run produces a Chrome trace of failures,
 backoffs, fallbacks, and restarts next to the engine's own iteration
 spans (``python -m repro chaos --out``).
+
+When a :mod:`repro.obs.runlog` logger is active the harness doubles as
+the **ground-truth writer** for the anomaly detectors: every injected
+fault is recorded as a ``fault`` event naming the detector expected to
+catch it, kills silence the dead rank's heartbeats for
+``silent_rounds`` liveness rounds, recovery actions are mirrored as
+``recovery``/``checkpoint`` telemetry, and the plan's telemetry-layer
+faults (:class:`~repro.resilience.chaos.LossSpike`,
+:class:`~repro.resilience.chaos.Stall`) are injected by wrapping the
+logger in a perturbing proxy -- the training computation never sees
+them, so the bit-exactness guarantee above is untouched.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -47,6 +59,7 @@ import numpy as np
 
 from repro.config import GPTConfig, ParallelConfig
 from repro.obs import span as obs_span
+from repro.obs.runlog import current_run_logger, run_logging
 from repro.parallel import PTDTrainer
 from repro.parallel.checkpoint import (
     CheckpointNotFoundError,
@@ -106,6 +119,79 @@ def shrink_parallel(
             continue
         return candidate
     return ParallelConfig(microbatch_size=1, global_batch_size=B)
+
+
+class _TelemetryFaults:
+    """Run-logger proxy injecting the plan's telemetry-layer faults.
+
+    Wraps the active :class:`~repro.obs.runlog.RunLogger` for the
+    duration of a chaos run.  Iteration records passing through are
+    perturbed per :class:`~repro.resilience.chaos.LossSpike` /
+    :class:`~repro.resilience.chaos.Stall`, with the matching
+    ground-truth ``fault`` event emitted just before the perturbed
+    record (so the alert it provokes always has a later ``seq``).
+    Everything else delegates unchanged: the training computation is
+    untouched and each perturbation fires once even if a restart
+    replays its iteration.
+    """
+
+    def __init__(self, inner, plan: ChaosPlan):
+        self._inner = inner
+        self._plan = plan
+        self._fired: set = set()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def iteration(self, iteration, loss, seconds, *,
+                  tokens_per_s=None, mfu=None, grad_norm=None,
+                  rank_busy=None, **extra):
+        spike = self._plan.loss_spike_at(iteration)
+        if (spike is not None and loss is not None
+                and ("spike", iteration) not in self._fired):
+            self._fired.add(("spike", iteration))
+            self._inner.fault("loss-spike", iteration,
+                              expect="loss-spike", factor=spike.factor)
+            loss = loss * spike.factor
+        for index, stall in enumerate(self._plan.stalls):
+            if not (stall.at_iteration <= iteration
+                    < stall.at_iteration + stall.iterations):
+                continue
+            key = ("stall", index, iteration)
+            if key in self._fired:
+                continue  # a replayed iteration stays clean
+            self._fired.add(key)
+            # One ground-truth event per plan entry, stamped at its
+            # first perturbed record -- the detectors alert once per
+            # episode, so fault and alert stay one-to-one.
+            first = ("stall", index) not in self._fired
+            self._fired.add(("stall", index))
+            if stall.rank is None:
+                if first:
+                    self._inner.fault("stall", iteration,
+                                      expect="throughput-collapse",
+                                      seconds=stall.seconds)
+                stretched = seconds + stall.seconds
+                scale = seconds / stretched
+                seconds = stretched
+                if tokens_per_s is not None:
+                    tokens_per_s *= scale
+                if mfu is not None:
+                    mfu *= scale
+            else:
+                if first:
+                    self._inner.fault("rank-stall", iteration,
+                                      expect="straggler",
+                                      rank=stall.rank,
+                                      seconds=stall.seconds)
+                rank_busy = dict(rank_busy or {})
+                rank_busy[stall.rank] = (
+                    rank_busy.get(stall.rank, 0.0) + stall.seconds
+                )
+        return self._inner.iteration(
+            iteration, loss, seconds, tokens_per_s=tokens_per_s,
+            mfu=mfu, grad_norm=grad_norm, rank_busy=rank_busy, **extra,
+        )
 
 
 @dataclass(frozen=True)
@@ -182,6 +268,7 @@ class ChaosHarness:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         allow_reshard: bool = True,
+        silent_rounds: int = 2,
         sleep: Callable[[float], None] | None = None,
     ):
         if total_iterations < 1:
@@ -216,12 +303,21 @@ class ChaosHarness:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.allow_reshard = allow_reshard
+        if silent_rounds < 1:
+            raise ValueError(
+                f"silent_rounds must be >= 1, got {silent_rounds}"
+            )
+        #: Liveness rounds a killed rank stays silent for in the run
+        #: log before recovery telemetry appears -- what the
+        #: heartbeat-gap detector actually observes of a kill.
+        self.silent_rounds = silent_rounds
         self.sleep = sleep if sleep is not None else time.sleep
         self.store = CheckpointStore(
             directory, keep_last=keep_last, save_fault=self._save_fault
         )
         self._save_budget = self.plan.save_failure_budget()
         self._fired_kills: set[int] = set()
+        self._fired_corruptions: set[int] = set()
 
     # -- injection ----------------------------------------------------------
     def _save_fault(self, iteration: int, stage: str) -> None:
@@ -273,6 +369,13 @@ class ChaosHarness:
                     "save-retry", iteration,
                     f"attempt {attempt}: {exc}",
                 ))
+                runlog = current_run_logger()
+                if runlog is not None:
+                    if attempt == 1:
+                        runlog.fault("save-failure", iteration,
+                                     expect="checkpoint")
+                    runlog.recovery("save-retry", iteration,
+                                    f"attempt {attempt}")
                 if attempt >= self.max_save_attempts:
                     raise HarnessGaveUpError(
                         f"checkpoint save at iteration {iteration} still "
@@ -290,11 +393,22 @@ class ChaosHarness:
             report.records.append(
                 RecoveryRecord("checkpoint", iteration)
             )
+            runlog = current_run_logger()
+            if runlog is not None:
+                runlog.checkpoint(iteration, path)
             return path
 
     def _apply_corruptions(self, iteration: int, path: str,
                            report: ChaosReport) -> None:
-        for spec in self.plan.corruptions_at(iteration):
+        # Fire-once, like kills: a plan entry is one fault instance, so
+        # a checkpoint re-committed on replay after a restore stays
+        # healthy instead of silently re-rotting.
+        for index, spec in enumerate(self.plan.corruptions):
+            if spec.at_iteration != iteration:
+                continue
+            if index in self._fired_corruptions:
+                continue
+            self._fired_corruptions.add(index)
             target = os.path.join(path, spec.file)
             with obs_span("corrupt", phase="chaos.corrupt",
                           iteration=iteration):
@@ -302,6 +416,14 @@ class ChaosHarness:
             report.records.append(RecoveryRecord(
                 "corrupt", iteration, f"{spec.file} ({spec.mode})"
             ))
+            # Ground truth only: real bit-rot is silent, so no recovery
+            # telemetry is written -- the detector must catch the later
+            # checkpoint-skipped restore.
+            runlog = current_run_logger()
+            if runlog is not None:
+                runlog.fault("corrupt-checkpoint", iteration,
+                             expect="checkpoint",
+                             file=spec.file, mode=spec.mode)
 
     def _recover(self, failure: RankFailureError,
                  report: ChaosReport,
@@ -312,6 +434,7 @@ class ChaosHarness:
             f"rank {failure.rank}"
             + (" (permanent)" if failure.permanent else ""),
         ))
+        runlog = current_run_logger()
         if failure.permanent and self.allow_reshard:
             new_parallel = shrink_parallel(self.config, parallel)
             if new_parallel is not parallel:
@@ -321,6 +444,9 @@ class ChaosHarness:
                 report.records.append(RecoveryRecord(
                     "reshard", failure.iteration, parallel.describe()
                 ))
+                if runlog is not None:
+                    runlog.recovery("reshard", failure.iteration,
+                                    parallel.describe())
         with obs_span("restore", phase="chaos.restore",
                       iteration=failure.iteration):
             trainer = self._make_trainer(parallel, schedule)
@@ -333,17 +459,25 @@ class ChaosHarness:
                 report.records.append(RecoveryRecord(
                     "restart-from-scratch", failure.iteration
                 ))
+                if runlog is not None:
+                    runlog.recovery(
+                        "restart-from-scratch", failure.iteration
+                    )
                 return trainer, parallel, schedule
         for iteration, reason in result.skipped:
             report.skipped_checkpoints += 1
             report.records.append(RecoveryRecord(
                 "checkpoint-skipped", iteration, reason
             ))
+            if runlog is not None:
+                runlog.recovery("checkpoint-skipped", iteration, reason)
+        detail = ("optimizer restored" if result.optimizer_restored
+                  else "optimizer reset")
         report.records.append(RecoveryRecord(
-            "restore", result.iteration,
-            "optimizer restored" if result.optimizer_restored
-            else "optimizer reset",
+            "restore", result.iteration, detail
         ))
+        if runlog is not None:
+            runlog.recovery("restore", result.iteration, detail)
         return trainer, parallel, schedule
 
     # -- the supervised loop ------------------------------------------------
@@ -356,7 +490,12 @@ class ChaosHarness:
             iterations=total, losses=losses, final_loss=float("nan"),
             final_state={}, final_parallel=parallel,
         )
-        with obs_span("chaos-run", phase="chaos.run"):
+        outer = current_run_logger()
+        logging = (
+            run_logging(_TelemetryFaults(outer, self.plan))
+            if outer is not None else contextlib.nullcontext()
+        )
+        with obs_span("chaos-run", phase="chaos.run"), logging:
             while trainer.iteration < total:
                 iteration = trainer.iteration
                 ids, targets = batch_for_iteration(
@@ -371,6 +510,17 @@ class ChaosHarness:
                                   iteration=failure.iteration,
                                   rank=failure.rank):
                         pass
+                    runlog = current_run_logger()
+                    if runlog is not None:
+                        runlog.fault(
+                            "kill", failure.iteration,
+                            expect="heartbeat-gap", rank=failure.rank,
+                            permanent=failure.permanent,
+                        )
+                        alive = [r for r in range(parallel.world_size)
+                                 if r != failure.rank]
+                        for _ in range(self.silent_rounds):
+                            runlog.heartbeat(alive, failure.iteration)
                     if report.restarts > self.max_restarts:
                         raise HarnessGaveUpError(
                             f"more than {self.max_restarts} restarts"

@@ -37,6 +37,7 @@ from repro.hardware import (
     cluster_for_gpus,
     dgx_a100,
 )
+from repro.obs.runlog import current_run_logger
 from repro.obs.tracer import GLOBAL_RANK, current_tracer
 from repro.perf.layer_costs import stage_compute_cost
 from repro.perf.memory import MODEL_STATE_BYTES_PER_PARAM, parameters_per_rank
@@ -426,6 +427,18 @@ def simulate_iteration(
             delta = stash_bytes if w.kind is OpKind.FORWARD else -stash_bytes
             stashed[r] += delta
             tracer.sample("mem.activations.bytes", stashed[r], rank=r, t=w.end)
+
+    # -- run-log iteration record (modelled clock) --------------------------
+    runlog = current_run_logger()
+    if runlog is not None:
+        it = runlog.iterations_logged
+        runlog.heartbeat(range(n), it)
+        runlog.iteration(
+            it, loss=None, seconds=iteration_time,
+            tokens_per_s=parallel.global_batch_size * s / iteration_time,
+            mfu=model_flops / n / iteration_time / node.device.peak_flops,
+            rank_busy={pipe_ranks[r]: busy[r] for r in range(p)},
+        )
 
     return SimulationResult(
         iteration_time=iteration_time,

@@ -496,3 +496,216 @@ class TestTraceProfile:
             path_part, value = line.rsplit(" ", 1)
             assert ";" in path_part
             assert int(value) >= 0
+
+
+TINY_TRACE = ["trace", "--layers", "4", "--hidden", "32", "--heads", "4",
+              "--vocab", "64", "--seq", "16", "-p", "2", "--batch", "4"]
+
+
+class TestReportEdgeCases:
+    def test_zero_files_prints_hint(self, capsys):
+        rc = main(["report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no BENCH files given" in out
+        assert "BENCH_baseline.json" in out  # how to produce one
+
+    def test_single_file_notes_missing_trend(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_a.json"
+        rc = main([*BENCH_FAST, "--filter", "schedule",
+                   "--out", str(path), "--label", "solo"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perf trajectory" in out
+        assert "single report" in out and "trend arrows" in out
+
+
+class TestChaosRunlog:
+    def _run(self, tmp_path, extra=()):
+        runs = tmp_path / "runs"
+        rc = main(["chaos", "--fast", "--backoff", "0.001",
+                   "--no-verify", "--runlog", str(runs), *extra])
+        return rc, runs
+
+    def test_runlog_written_and_advertised(self, tmp_path, capsys):
+        rc, runs = self._run(tmp_path)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run log:" in out
+        assert (runs / "LATEST").exists()
+        from repro.obs.runlog import RunRegistry, read_events
+
+        registry = RunRegistry(str(runs))
+        events = read_events(registry.events_path(registry.latest()))
+        types = {e["type"] for e in events}
+        assert {"run-start", "iteration", "heartbeat", "fault",
+                "recovery", "checkpoint", "run-end"} <= types
+        assert events[-1]["status"] == "completed"
+
+    def test_monitor_flag_prints_scoreboard(self, tmp_path, capsys):
+        rc, _ = self._run(tmp_path, ["--monitor"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "detector scoreboard: 3 injected faults" in out
+        assert "heartbeat-gap" in out and "checkpoint" in out
+        assert "[loss-spike]" not in out  # no spike injected
+
+    def test_monitor_requires_runlog(self, capsys):
+        rc = main(["chaos", "--fast", "--backoff", "0.001",
+                   "--no-verify", "--monitor"])
+        assert rc == 2
+        assert "--runlog" in capsys.readouterr().err
+
+    def test_loss_spike_and_stall_flags(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        rc = main(["chaos", "--iterations", "8", "--every", "2",
+                   "--backoff", "0.001", "--no-verify",
+                   "--loss-spike", "5", "--stall", "3,6:1",
+                   "--runlog", str(runs), "--monitor"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 loss spikes, 2 stalls" in out
+        assert "[loss-spike]" in out
+        assert "[throughput-collapse]" in out
+        assert "[straggler]" in out
+
+    def test_telemetry_faults_keep_bit_exactness(self, tmp_path, capsys):
+        # Spikes/stalls perturb only *reported* metrics: the verified
+        # run must still match the uninterrupted reference bit-for-bit.
+        runs = tmp_path / "runs"
+        rc = main(["chaos", "--iterations", "6", "--every", "2",
+                   "--backoff", "0.001", "--loss-spike", "3",
+                   "--stall", "4", "--runlog", str(runs)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bit-exact vs uninterrupted run: losses=True  " \
+               "parameters=True" in out
+
+
+class TestMonitorCLI:
+    def _chaos_runlog(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        rc = main(["chaos", "--fast", "--backoff", "0.001",
+                   "--no-verify", "--runlog", str(runs)])
+        assert rc == 0
+        capsys.readouterr()
+        return str(runs)
+
+    def _trace_runlog(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        rc = main([*TINY_TRACE, "--runlog", str(runs)])
+        assert rc == 0
+        capsys.readouterr()
+        return str(runs)
+
+    def test_check_exits_nonzero_on_unacked_critical(self, tmp_path,
+                                                     capsys):
+        runs = self._chaos_runlog(tmp_path, capsys)
+        rc = main(["monitor", "--runs", runs, "--check"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "critical" in captured.out
+        assert "unacknowledged critical alerts" in captured.err
+        assert "--ack DETECTOR" in captured.err
+
+    def test_check_passes_once_acknowledged(self, tmp_path, capsys):
+        runs = self._chaos_runlog(tmp_path, capsys)
+        rc = main(["monitor", "--runs", runs, "--check",
+                   "--ack", "heartbeat-gap", "--ack", "checkpoint"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 critical unacknowledged" in out
+        assert "[ack]" in out  # acked criticals are labelled
+
+    def test_check_clean_run_exits_zero(self, tmp_path, capsys):
+        runs = self._trace_runlog(tmp_path, capsys)
+        rc = main(["monitor", "--runs", runs, "--check"])
+        assert rc == 0
+        assert "0 alerts" in capsys.readouterr().out
+
+    def test_dashboard_renders_latest(self, tmp_path, capsys):
+        runs = self._chaos_runlog(tmp_path, capsys)
+        rc = main(["monitor", "--runs", runs])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "source=chaos" in out
+        assert "loss" in out and "rank health:" in out
+        assert "alerts:" in out
+
+    def test_score_and_metrics_out(self, tmp_path, capsys):
+        import json as _json
+
+        runs = self._chaos_runlog(tmp_path, capsys)
+        metrics = tmp_path / "m.json"
+        rc = main(["monitor", "--runs", runs, "--score",
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "detector scoreboard" in out
+        gauges = _json.loads(metrics.read_text())["gauges"]
+        assert gauges["monitor.heartbeat-gap.recall"] == 1.0
+        assert gauges["monitor.checkpoint.recall"] == 1.0
+        assert gauges["monitor.faults"] == 3
+
+    def test_list_and_gc(self, tmp_path, capsys):
+        runs = self._trace_runlog(tmp_path, capsys)
+        main([*TINY_TRACE, "--runlog", runs])
+        capsys.readouterr()
+        rc = main(["monitor", "--runs", runs, "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("completed") == 2
+        assert "LATEST ->" in out
+        rc = main(["monitor", "--runs", runs, "--gc", "1"])
+        assert rc == 0
+        assert "dropped 1 runs" in capsys.readouterr().out
+        rc = main(["monitor", "--runs", runs, "--list"])
+        assert rc == 0
+        assert capsys.readouterr().out.count("completed") == 1
+
+    def test_follow_terminates_on_finished_run(self, tmp_path, capsys):
+        runs = self._trace_runlog(tmp_path, capsys)
+        rc = main(["monitor", "--runs", runs, "--follow",
+                   "--poll", "0.01"])
+        assert rc == 0  # clean run: no unacked criticals
+
+    def test_no_runs_reports_error(self, tmp_path, capsys):
+        rc = main(["monitor", "--runs", str(tmp_path / "empty")])
+        assert rc == 2
+        assert "no runs under" in capsys.readouterr().err
+
+    def test_unknown_run_reports_error(self, tmp_path, capsys):
+        runs = self._trace_runlog(tmp_path, capsys)
+        rc = main(["monitor", "--runs", runs, "ghost"])
+        assert rc == 2
+        assert "no run 'ghost'" in capsys.readouterr().err
+
+
+class TestTraceRunlog:
+    def test_engine_trace_writes_clean_runlog(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        rc = main([*TINY_TRACE, "--runlog", str(runs)])
+        assert rc == 0
+        assert "run log:" in capsys.readouterr().out
+        from repro.obs.monitor import run_monitor
+        from repro.obs.runlog import RunRegistry, read_events
+
+        registry = RunRegistry(str(runs))
+        events = read_events(registry.events_path(registry.latest()))
+        monitor = run_monitor(events)
+        assert monitor.alerts == []
+        assert monitor.iterations == 1
+
+    def test_sim_trace_writes_runlog(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        rc = main([*TINY_TRACE, "--mode", "sim", "--runlog", str(runs)])
+        assert rc == 0
+        from repro.obs.runlog import RunRegistry, manifest_of, read_events
+
+        registry = RunRegistry(str(runs))
+        events = read_events(registry.events_path(registry.latest()))
+        assert manifest_of(events)["source"] == "sim"
+        assert any(e["type"] == "iteration" for e in events)

@@ -1,0 +1,303 @@
+"""Tests for repro.obs.runlog: the event log, the registry, the
+active-logger stack, and the trainer/simulator emitters."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.runlog import (
+    EVENT_TYPES,
+    RUNLOG_SCHEMA_VERSION,
+    RunLogError,
+    RunLogger,
+    RunRegistry,
+    current_run_logger,
+    manifest_of,
+    parse_events,
+    read_events,
+    run_logging,
+)
+
+
+def make_logger(clock=None):
+    buf = io.StringIO()
+    ticks = iter(range(10_000))
+    return RunLogger(
+        buf, "run-x", clock=clock or (lambda: float(next(ticks)))
+    ), buf
+
+
+class TestRunLogger:
+    def test_events_carry_schema_seq_and_time(self):
+        logger, buf = make_logger()
+        logger.start("engine")
+        logger.iteration(0, 1.5, 0.25, tokens_per_s=100.0)
+        logger.end()
+        events = list(parse_events(buf.getvalue().splitlines()))
+        assert [e["type"] for e in events] == [
+            "run-start", "iteration", "run-end"
+        ]
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert all(e["v"] == RUNLOG_SCHEMA_VERSION for e in events)
+        assert events[0]["t"] == 0.0 and events[2]["t"] == 2.0
+
+    def test_manifest_must_come_first(self):
+        logger, _ = make_logger()
+        logger.heartbeat([0, 1], 0)
+        with pytest.raises(RunLogError, match="first event"):
+            logger.start("engine")
+
+    def test_unknown_event_type_rejected(self):
+        logger, _ = make_logger()
+        assert "explosion" not in EVENT_TYPES
+        with pytest.raises(RunLogError, match="unknown"):
+            logger.emit("explosion")
+
+    def test_log_is_sealed_after_end(self):
+        logger, _ = make_logger()
+        logger.start("engine")
+        logger.end()
+        with pytest.raises(RunLogError, match="sealed"):
+            logger.heartbeat([0], 0)
+
+    def test_iteration_accepts_missing_loss(self):
+        logger, buf = make_logger()
+        logger.start("sim")
+        logger.iteration(0, None, 0.5)
+        (event,) = [e for e in parse_events(buf.getvalue().splitlines())
+                    if e["type"] == "iteration"]
+        assert event["loss"] is None
+
+    def test_rank_busy_keys_stringified_for_json(self):
+        logger, buf = make_logger()
+        logger.start("engine")
+        logger.iteration(0, 1.0, 0.5, rank_busy={3: 0.25, 1: 0.5})
+        (event,) = [e for e in parse_events(buf.getvalue().splitlines())
+                    if e["type"] == "iteration"]
+        assert event["rank_busy"] == {"3": 0.25, "1": 0.5}
+
+    def test_observers_see_every_event(self):
+        logger, _ = make_logger()
+        seen = []
+        logger.observers.append(seen.append)
+        logger.start("engine")
+        logger.heartbeat([0], 0)
+        assert [e["type"] for e in seen] == ["run-start", "heartbeat"]
+
+    def test_every_event_flushed_per_line(self):
+        logger, buf = make_logger()
+        logger.start("engine")
+        logger.heartbeat([0, 1], 0)
+        # Tail-ability: both events already parse mid-run, no end needed.
+        assert len(list(parse_events(buf.getvalue().splitlines()))) == 2
+
+    def test_fault_records_expected_detector(self):
+        logger, buf = make_logger()
+        logger.start("chaos")
+        logger.fault("kill", 3, expect="heartbeat-gap", rank=1)
+        (event,) = [e for e in parse_events(buf.getvalue().splitlines())
+                    if e["type"] == "fault"]
+        assert event["expect"] == "heartbeat-gap" and event["rank"] == 1
+
+
+class TestParseEvents:
+    def test_tolerates_trailing_partial_line(self):
+        logger, buf = make_logger()
+        logger.start("engine")
+        logger.heartbeat([0], 0)
+        text = buf.getvalue() + '{"v": 1, "seq": 2, "type": "iterat'
+        events = list(parse_events(text.splitlines()))
+        assert [e["type"] for e in events] == ["run-start", "heartbeat"]
+
+    def test_midstream_corruption_raises(self):
+        logger, buf = make_logger()
+        logger.start("engine")
+        lines = buf.getvalue().splitlines() + ["{garbage"]
+        logger.heartbeat([0], 0)
+        lines += buf.getvalue().splitlines()[-1:]
+        with pytest.raises(RunLogError, match="corrupt"):
+            list(parse_events(lines))
+
+    def test_wrong_schema_version_refused(self):
+        line = json.dumps({"v": 999, "seq": 0, "t": 0.0,
+                           "type": "run-start"})
+        with pytest.raises(RunLogError, match="version"):
+            list(parse_events([line]))
+
+    def test_non_object_event_raises(self):
+        with pytest.raises(RunLogError, match="objects"):
+            list(parse_events(['[1, 2, 3]']))
+
+    def test_manifest_of_headerless_log_is_empty(self):
+        assert manifest_of([{"type": "heartbeat"}]) == {}
+
+
+class TestRunRegistry:
+    def test_create_advances_latest_and_lists(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        ticks = iter(range(100))
+        for n in range(3):
+            logger, fh = registry.create(
+                "engine", run_id=f"run-{n}",
+                clock=lambda: float(next(ticks)),
+            )
+            with fh:
+                logger.start("engine")
+                logger.end()
+        assert registry.latest() == "run-2"
+        infos = registry.list()
+        assert [i.run_id for i in infos] == ["run-0", "run-1", "run-2"]
+        assert all(i.status == "completed" for i in infos)
+        assert all(i.source == "engine" for i in infos)
+
+    def test_unfinished_run_listed_as_running(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        logger, fh = registry.create("chaos", run_id="live")
+        with fh:
+            logger.start("chaos")
+        (info,) = registry.list()
+        assert info.status == "running"
+
+    def test_events_path_missing_run_raises(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        with pytest.raises(RunLogError, match="no run"):
+            registry.events_path("ghost")
+
+    def test_gc_keeps_newest_and_latest(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        ticks = iter(range(100))
+        for n in range(4):
+            logger, fh = registry.create(
+                "engine", run_id=f"run-{n}",
+                clock=lambda: float(next(ticks)),
+            )
+            with fh:
+                logger.start("engine")
+                logger.end()
+        dropped = registry.gc(keep_last=2)
+        assert dropped == ["run-0", "run-1"]
+        assert [i.run_id for i in registry.list()] == ["run-2", "run-3"]
+        assert registry.latest() == "run-3"
+
+    def test_gc_validates_keep_last(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            RunRegistry(str(tmp_path)).gc(0)
+
+    def test_read_events_roundtrip_on_disk(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        logger, fh = registry.create("engine", run_id="disk")
+        with fh:
+            logger.start("engine")
+            logger.iteration(0, 2.0, 0.1)
+            logger.end()
+        events = read_events(registry.events_path("disk"))
+        assert [e["type"] for e in events] == [
+            "run-start", "iteration", "run-end"
+        ]
+
+
+class TestActiveStack:
+    def test_no_logger_by_default(self):
+        assert current_run_logger() is None
+
+    def test_nesting_and_pop_by_identity(self):
+        a, _ = make_logger()
+        b, _ = make_logger()
+        with run_logging(a):
+            assert current_run_logger() is a
+            with run_logging(b):
+                assert current_run_logger() is b
+            assert current_run_logger() is a
+        assert current_run_logger() is None
+
+    def test_exception_safe(self):
+        a, _ = make_logger()
+        with pytest.raises(RuntimeError):
+            with run_logging(a):
+                raise RuntimeError("boom")
+        assert current_run_logger() is None
+
+
+class TestTrainerEmitter:
+    def _run(self, iterations=2):
+        from repro.config import ParallelConfig, tiny_test_model
+        from repro.parallel import PTDTrainer
+
+        config = tiny_test_model()
+        parallel = ParallelConfig(
+            pipeline_parallel_size=1, data_parallel_size=2,
+            microbatch_size=1, global_batch_size=4,
+        )
+        trainer = PTDTrainer(config, parallel)
+        rng = np.random.default_rng(0)
+        shape = (4, config.seq_length)
+        logger, buf = make_logger()
+        logger.start("engine")
+        with run_logging(logger):
+            for _ in range(iterations):
+                trainer.train_step(
+                    rng.integers(0, config.vocab_size, size=shape),
+                    rng.integers(0, config.vocab_size, size=shape),
+                )
+        return list(parse_events(buf.getvalue().splitlines())), parallel
+
+    def test_one_heartbeat_and_iteration_per_step(self):
+        events, parallel = self._run(iterations=3)
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        iters = [e for e in events if e["type"] == "iteration"]
+        assert len(beats) == 3 and len(iters) == 3
+        assert [e["iteration"] for e in iters] == [0, 1, 2]
+        assert beats[0]["ranks"] == list(range(parallel.world_size))
+
+    def test_iteration_record_fields(self):
+        events, parallel = self._run(iterations=1)
+        (it,) = [e for e in events if e["type"] == "iteration"]
+        assert it["loss"] > 0 and it["seconds"] > 0
+        assert it["tokens_per_s"] > 0 and 0 < it["mfu"] < 1
+        # One busy-time sample per data-parallel replica.
+        assert sorted(it["rank_busy"]) == [
+            str(r) for r in range(parallel.data_parallel_size)
+        ]
+
+    def test_no_logger_means_no_emission(self):
+        # The hot path without a logger must not touch any stream.
+        from repro.config import ParallelConfig, tiny_test_model
+        from repro.parallel import PTDTrainer
+
+        config = tiny_test_model()
+        parallel = ParallelConfig(microbatch_size=1, global_batch_size=2)
+        trainer = PTDTrainer(config, parallel)
+        rng = np.random.default_rng(0)
+        shape = (2, config.seq_length)
+        assert current_run_logger() is None
+        trainer.train_step(
+            rng.integers(0, config.vocab_size, size=shape),
+            rng.integers(0, config.vocab_size, size=shape),
+        )  # simply must not raise
+
+
+class TestSimulatorEmitter:
+    def test_sim_emits_iteration_with_per_stage_busy(self):
+        from repro.config import ParallelConfig, tiny_test_model
+        from repro.sim import simulate_iteration
+
+        config = tiny_test_model()
+        parallel = ParallelConfig(
+            pipeline_parallel_size=2, microbatch_size=1,
+            global_batch_size=4,
+        )
+        logger, buf = make_logger()
+        logger.start("sim")
+        with run_logging(logger):
+            res = simulate_iteration(config, parallel)
+        events = list(parse_events(buf.getvalue().splitlines()))
+        (it,) = [e for e in events if e["type"] == "iteration"]
+        assert it["loss"] is None
+        assert it["seconds"] == res.iteration_time
+        assert len(it["rank_busy"]) == parallel.pipeline_parallel_size
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        assert beats and beats[0]["ranks"] == list(
+            range(parallel.world_size)
+        )
