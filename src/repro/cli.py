@@ -481,9 +481,11 @@ def _cmd_chaos(args) -> int:
             schedule=args.schedule,
             seed=args.seed,
             backoff_base=args.backoff,
+            backend=args.backend,
         )
         print(f"model: {config}")
-        print(f"parallel: {parallel.describe()}  schedule={args.schedule}")
+        print(f"parallel: {parallel.describe()}  schedule={args.schedule}  "
+              f"backend={args.backend}")
         summary = (f"chaos plan: {len(plan.kills)} kills, "
                    f"{len(plan.corruptions)} corruptions, "
                    f"{len(plan.save_failures)} transient save failures")
@@ -641,6 +643,7 @@ def _cmd_bench(args) -> int:
         label=args.label,
         filter_substr=args.filter,
         suites=args.suites,
+        backend=args.backend,
         progress=print,
     )
     if not report.records:
@@ -682,16 +685,25 @@ def _cmd_bench(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.obs.bench import load_report
-    from repro.obs.report import render_html, render_text
+    from repro.obs.report import discover_reports, render_html, render_text
 
     if not args.files:
-        print("no BENCH files given -- nothing to report.")
-        print("produce one with `python -m repro bench --fast "
-              "--out BENCH_baseline.json`, then render the trajectory "
-              "with `python -m repro report BENCH_*.json` "
-              "(oldest first).")
-        return 0
-    reports = [load_report(path) for path in args.files]
+        # No explicit files: pick up every root-level BENCH_*.json,
+        # ordered by creation time (shell glob order is lexicographic,
+        # which scrambles the trajectory).
+        reports = discover_reports(".")
+        if not reports:
+            print("no BENCH files given and none found in the current "
+                  "directory -- nothing to report.")
+            print("produce one with `python -m repro bench --fast "
+                  "--out BENCH_baseline.json`, then render the "
+                  "trajectory with `python -m repro report` (it "
+                  "discovers BENCH_*.json, oldest first).")
+            return 0
+        print(f"discovered {len(reports)} BENCH files (ordered by "
+              "creation time)")
+    else:
+        reports = [load_report(path) for path in args.files]
     print(render_text(reports))
     if len(reports) == 1:
         print()
@@ -977,6 +989,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--metrics-out", dest="metrics_out", default=None,
                          help="dump bench results in the shared "
                               "metrics-JSON schema")
+    p_bench.add_argument(
+        "--backend", default="coop", choices=["coop", "mp"],
+        help="execution backend for the engine scenarios: coop "
+             "(single-process cooperative oracle) or mp (real worker "
+             "processes over shared memory)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_rep = sub.add_parser(
@@ -1011,8 +1029,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ver.add_argument(
         "--only", default=None,
-        choices=["schedules", "sanitizer", "conformance", "conservation",
-                 "chaos"],
+        choices=["schedules", "sanitizer", "conformance", "backend",
+                 "conservation", "chaos"],
         help="run a single verification section",
     )
     p_ver.add_argument(
@@ -1111,6 +1129,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--backoff", type=float, default=0.05,
                          help="base save-retry backoff, seconds (doubles "
                               "per attempt, capped)")
+    p_chaos.add_argument(
+        "--backend", default="coop", choices=["coop", "mp"],
+        help="execution backend for the trained model: coop (in-process "
+             "oracle) or mp (real worker processes; the harness closes "
+             "and re-spawns them across kills, leaking no /dev/shm "
+             "segments)",
+    )
     p_chaos.add_argument("--dir", default=None,
                          help="checkpoint root (default: a temp dir)")
     p_chaos.add_argument("--out", default=None,

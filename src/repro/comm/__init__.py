@@ -1,5 +1,6 @@
 """Communication substrate: collectives, process groups, traffic, cost."""
 
+from .backend import BACKENDS, Backend, CoopBackend, MpBackend, get_backend
 from .cost_model import CommCostModel
 from .extras import all_to_all, barrier, gather, scatter
 from .groups import ProcessGroups, RankCoord
@@ -7,12 +8,23 @@ from .primitives import (
     all_gather,
     broadcast,
     reduce_scatter,
+    ring_all_gather_hops,
     ring_all_reduce,
+    ring_all_reduce_hops,
+    ring_reduce_scatter_hops,
     send,
 )
 from .traffic import TrafficKind, TrafficLog, TransferRecord
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "CoopBackend",
+    "MpBackend",
+    "get_backend",
+    "ring_all_reduce_hops",
+    "ring_all_gather_hops",
+    "ring_reduce_scatter_hops",
     "CommCostModel",
     "gather",
     "scatter",

@@ -1,0 +1,373 @@
+"""Execution backends for the communication primitives.
+
+A :class:`Backend` exposes the five primitives of
+:mod:`repro.comm.primitives` behind one interface so the engine
+(`ProcessGroups`, the schedule executor, ``PTDTrainer``, ZeRO-3) can
+select *how* collectives execute without changing *what* they compute:
+
+- :class:`CoopBackend` — the existing single-process cooperative path,
+  kept verbatim as the bit-exact oracle.
+- :class:`MpBackend` — every virtual rank of a group is a real OS
+  process (:class:`~repro.comm.shm_ring.ShmWorkerPool`) moving bytes
+  through ``multiprocessing.shared_memory`` numpy buffers with the
+  standard ring algorithms.
+
+The contract (asserted by ``repro verify --only backend`` and the
+cross-backend test grid): for identical inputs both backends return
+bit-identical arrays, raise the same validation errors, record the same
+sanitizer events, and append the exact same §3.3.1 hop sequence to the
+:class:`~repro.comm.traffic.TrafficLog` — ring all-reduce moves
+``2(k-1)/k`` of the buffer per rank, all-gather/reduce-scatter
+``(k-1)/k``, p2p the full size.  The mp backend achieves this by
+keeping validation, sanitizer recording, span emission and traffic
+accounting in the parent (replayed from the pure hop plans in
+:mod:`repro.comm.primitives`) while the worker processes perform the
+actual data movement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.obs.tracer import span as _obs_span
+from repro.verify.sanitizer import record_collective as _sanitize
+
+from . import primitives as _coop
+from .primitives import (
+    _check_group,
+    _check_group_like,
+    _check_ranks,
+    _comm_span,
+    ring_all_gather_hops,
+    ring_all_reduce_hops,
+    ring_reduce_scatter_hops,
+)
+from .shm_ring import ShmWorkerPool, create_segment, destroy_segment
+from .traffic import TrafficKind
+
+BACKENDS = ("coop", "mp")
+
+
+class Backend(ABC):
+    """Interface over the collective/p2p primitives."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def all_reduce(self, buffers, ranks, log=None,
+                   kind=TrafficKind.OTHER, tag=""):
+        ...
+
+    @abstractmethod
+    def all_gather(self, shards, ranks, log=None,
+                   kind=TrafficKind.OTHER, tag="", axis=0):
+        ...
+
+    @abstractmethod
+    def reduce_scatter(self, buffers, ranks, log=None,
+                       kind=TrafficKind.OTHER, tag=""):
+        ...
+
+    @abstractmethod
+    def broadcast(self, buffer, root, ranks, log=None,
+                  kind=TrafficKind.OTHER, tag=""):
+        ...
+
+    @abstractmethod
+    def send(self, buffer, src, dst, log=None,
+             kind=TrafficKind.PIPELINE_P2P, tag=""):
+        ...
+
+    def close(self) -> None:
+        """Release any real-process resources (no-op for coop)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class CoopBackend(Backend):
+    """The single-process cooperative oracle — delegates verbatim."""
+
+    name = "coop"
+
+    def all_reduce(self, buffers, ranks, log=None,
+                   kind=TrafficKind.OTHER, tag=""):
+        return _coop.ring_all_reduce(buffers, ranks, log, kind, tag)
+
+    def all_gather(self, shards, ranks, log=None,
+                   kind=TrafficKind.OTHER, tag="", axis=0):
+        return _coop.all_gather(shards, ranks, log, kind, tag, axis)
+
+    def reduce_scatter(self, buffers, ranks, log=None,
+                       kind=TrafficKind.OTHER, tag=""):
+        return _coop.reduce_scatter(buffers, ranks, log, kind, tag)
+
+    def broadcast(self, buffer, root, ranks, log=None,
+                  kind=TrafficKind.OTHER, tag=""):
+        return _coop.broadcast(buffer, root, ranks, log, kind, tag)
+
+    def send(self, buffer, src, dst, log=None,
+             kind=TrafficKind.PIPELINE_P2P, tag=""):
+        return _coop.send(buffer, src, dst, log, kind, tag)
+
+
+class MpBackend(Backend):
+    """Real multi-process backend over shared-memory ring transfers.
+
+    Keeps one persistent :class:`ShmWorkerPool` per distinct group size
+    (created lazily, reused across collectives) plus a single-worker
+    courier pool for p2p sends.  ``close()`` tears the pools down;
+    segments are per-call and always unlinked in ``finally``.
+    """
+
+    name = "mp"
+
+    def __init__(self, *, timeout: float | None = None):
+        self._pools: dict[int, ShmWorkerPool] = {}
+        self._timeout = timeout
+        self._closed = False
+
+    def _pool(self, size: int) -> ShmWorkerPool:
+        if self._closed:
+            raise RuntimeError("mp backend is closed")
+        pool = self._pools.get(size)
+        if pool is None:
+            kwargs = {} if self._timeout is None else {"timeout": self._timeout}
+            pool = ShmWorkerPool(size, **kwargs)
+            self._pools[size] = pool
+        return pool
+
+    def close(self) -> None:
+        self._closed = True
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    # -- collectives ---------------------------------------------------
+
+    def all_reduce(self, buffers, ranks, log=None,
+                   kind=TrafficKind.OTHER, tag=""):
+        _check_group(buffers, ranks)
+        _sanitize("all_reduce", ranks, np.asarray(buffers[0]).shape,
+                  np.asarray(buffers[0]).dtype, tag)
+        with _comm_span("all_reduce", ranks, kind, tag):
+            k = len(ranks)
+            if k == 1:
+                return [buffers[0].copy()]
+            shape, dtype = buffers[0].shape, buffers[0].dtype
+            flats = [
+                np.ascontiguousarray(b, dtype=np.float64).ravel()
+                for b in buffers
+            ]
+            n = flats[0].size
+            segs = [create_segment(n * 8) for _ in range(k)]
+            try:
+                for seg, flat in zip(segs, flats):
+                    np.ndarray((n,), dtype=np.float64, buffer=seg.buf)[...] = flat
+                names = [seg.name for seg in segs]
+                self._pool(k).run("all_reduce", [(names, n, k)] * k)
+                out = [
+                    np.ndarray((n,), dtype=np.float64, buffer=seg.buf)
+                    .copy().reshape(shape).astype(dtype)
+                    for seg in segs
+                ]
+            finally:
+                for seg in segs:
+                    destroy_segment(seg)
+            if log is not None:
+                for si, di, nb in ring_all_reduce_hops(n, 8, k):
+                    log.add(ranks[si], ranks[di], nb, kind, tag)
+            return out
+
+    def all_gather(self, shards, ranks, log=None,
+                   kind=TrafficKind.OTHER, tag="", axis=0):
+        _check_group_like(shards, ranks, axis)
+        k = len(ranks)
+        if k == 1:
+            return _coop.all_gather(shards, ranks, log, kind, tag, axis)
+        with _comm_span("all_gather", ranks, kind, tag):
+            arrs = [np.asarray(s) for s in shards]
+            ax = axis % arrs[0].ndim
+            moved = [np.ascontiguousarray(np.moveaxis(a, ax, 0)) for a in arrs]
+            lens = [m.shape[0] for m in moved]
+            offsets = [0]
+            for length in lens:
+                offsets.append(offsets[-1] + length)
+            rest = moved[0].shape[1:]
+            full_moved_shape = (offsets[-1],) + rest
+            dtype = arrs[0].dtype
+            full_shape = list(arrs[0].shape)
+            full_shape[ax] = offsets[-1]
+            _sanitize("all_gather", ranks, tuple(full_shape), dtype, tag)
+            nbytes = int(np.prod(full_moved_shape)) * dtype.itemsize
+            segs = [create_segment(nbytes) for _ in range(k)]
+            try:
+                for j, seg in enumerate(segs):
+                    view = np.ndarray(full_moved_shape, dtype=dtype, buffer=seg.buf)
+                    view[offsets[j]:offsets[j + 1]] = moved[j]
+                names = [seg.name for seg in segs]
+                payload = (names, offsets, full_moved_shape, dtype.str, k)
+                self._pool(k).run("all_gather", [payload] * k)
+                out = []
+                for seg in segs:
+                    view = np.ndarray(full_moved_shape, dtype=dtype, buffer=seg.buf)
+                    out.append(np.ascontiguousarray(np.moveaxis(view.copy(), 0, ax)))
+            finally:
+                for seg in segs:
+                    destroy_segment(seg)
+            if log is not None:
+                hops = ring_all_gather_hops([a.nbytes for a in arrs])
+                for si, di, nb in hops:
+                    log.add(ranks[si], ranks[di], nb, kind, tag)
+            return out
+
+    def reduce_scatter(self, buffers, ranks, log=None,
+                       kind=TrafficKind.OTHER, tag=""):
+        _check_group(buffers, ranks)
+        k = len(ranks)
+        first = np.asarray(buffers[0])
+        if first.ndim < 1:
+            raise ValueError(
+                "reduce_scatter needs buffers with at least 1 dimension to "
+                "scatter along axis 0"
+            )
+        if first.shape[0] % k != 0:
+            raise ValueError(
+                f"reduce_scatter needs axis-0 ({first.shape[0]}) divisible "
+                f"by group size ({k})"
+            )
+        if k == 1:
+            return _coop.reduce_scatter(buffers, ranks, log, kind, tag)
+        _sanitize("reduce_scatter", ranks, first.shape, first.dtype, tag)
+        with _comm_span("reduce_scatter", ranks, kind, tag):
+            dtype = first.dtype
+            shape = first.shape
+            rows = shape[0] // k
+            slab_nbytes = int(np.prod((rows,) + tuple(shape[1:]))) * 8
+            in_segs = [create_segment(first.size * 8) for _ in range(k)]
+            out_segs = [create_segment(slab_nbytes) for _ in range(k)]
+            try:
+                for seg, b in zip(in_segs, buffers):
+                    view = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+                    view[...] = np.asarray(b).astype(np.float64)
+                in_names = [seg.name for seg in in_segs]
+                payloads = [
+                    (in_names, out_segs[r].name, tuple(shape), k)
+                    for r in range(k)
+                ]
+                self._pool(k).run("reduce_scatter", payloads)
+                out = []
+                for seg in out_segs:
+                    slab = np.ndarray((rows,) + tuple(shape[1:]),
+                                      dtype=np.float64, buffer=seg.buf)
+                    out.append(slab.copy().astype(dtype))
+            finally:
+                for seg in in_segs + out_segs:
+                    destroy_segment(seg)
+            if log is not None:
+                hops = ring_reduce_scatter_hops(first.nbytes, k)
+                for si, di, nb in hops:
+                    log.add(ranks[si], ranks[di], nb, kind, tag)
+            return out
+
+    def broadcast(self, buffer, root, ranks, log=None,
+                  kind=TrafficKind.OTHER, tag=""):
+        _check_ranks(ranks)
+        if root not in ranks:
+            raise ValueError(f"root {root} not in group {ranks}")
+        arr = np.asarray(buffer)
+        _sanitize("broadcast", ranks, arr.shape, arr.dtype,
+                  tag or f"root={root}")
+        with _comm_span("broadcast", ranks, kind, tag):
+            k = len(ranks)
+            if k == 1:
+                return [arr.copy()]
+            root_idx = list(ranks).index(root)
+            contig = np.ascontiguousarray(arr)
+            src_seg = create_segment(contig.nbytes)
+            out_segs = {
+                i: create_segment(contig.nbytes)
+                for i in range(k) if i != root_idx
+            }
+            try:
+                np.ndarray(contig.shape, dtype=contig.dtype,
+                           buffer=src_seg.buf)[...] = contig
+                messages = []
+                for i in range(k):
+                    if i == root_idx:
+                        messages.append(("noop", None))
+                    else:
+                        messages.append((
+                            "copy",
+                            (src_seg.name, out_segs[i].name, contig.nbytes),
+                        ))
+                self._pool(k).request(messages)
+                out = []
+                for i, r in enumerate(ranks):
+                    if i == root_idx:
+                        out.append(arr.copy())
+                    else:
+                        view = np.ndarray(contig.shape, dtype=contig.dtype,
+                                          buffer=out_segs[i].buf)
+                        out.append(view.copy())
+                    if log is not None and r != root:
+                        log.add(root, r, arr.nbytes, kind, tag)
+            finally:
+                for seg in [src_seg, *out_segs.values()]:
+                    destroy_segment(seg)
+            return out
+
+    def send(self, buffer, src, dst, log=None,
+             kind=TrafficKind.PIPELINE_P2P, tag=""):
+        if src == dst:
+            raise ValueError("p2p send requires distinct src and dst ranks")
+        arr = np.asarray(buffer)
+        _sanitize("send", (src, dst), arr.shape, arr.dtype, tag)
+        with _obs_span(
+            "send", phase=f"comm.{kind.value}", rank=src, dst=dst, tag=tag
+        ):
+            if log is not None:
+                log.add(src, dst, arr.nbytes, kind, tag)
+            contig = np.ascontiguousarray(arr)
+            in_seg = create_segment(contig.nbytes)
+            out_seg = create_segment(contig.nbytes)
+            try:
+                np.ndarray(contig.shape, dtype=contig.dtype,
+                           buffer=in_seg.buf)[...] = contig
+                self._pool(1).run(
+                    "copy", [(in_seg.name, out_seg.name, contig.nbytes)]
+                )
+                view = np.ndarray(contig.shape, dtype=contig.dtype,
+                                  buffer=out_seg.buf)
+                out = view.copy()
+            finally:
+                destroy_segment(in_seg)
+                destroy_segment(out_seg)
+            return out
+
+
+_COOP_SINGLETON = CoopBackend()
+
+
+def get_backend(spec: str | Backend | None = None) -> Backend:
+    """Resolve a backend spec (``"coop"``, ``"mp"``, a :class:`Backend`
+    instance, or ``None`` for the coop default).
+
+    ``"mp"`` returns a *fresh* :class:`MpBackend` — the caller owns its
+    lifetime and should ``close()`` it (or use it as a context manager).
+    """
+    if spec is None:
+        return _COOP_SINGLETON
+    if isinstance(spec, Backend):
+        return spec
+    if spec == "coop":
+        return _COOP_SINGLETON
+    if spec == "mp":
+        return MpBackend()
+    raise ValueError(f"unknown backend {spec!r}; expected one of {BACKENDS}")

@@ -253,6 +253,63 @@ def send(
         return np.asarray(buffer).copy()
 
 
+def ring_all_reduce_hops(
+    n: int, itemsize: int, k: int
+) -> list[tuple[int, int, int]]:
+    """The exact ``(src_index, dst_index, nbytes)`` hop sequence
+    :func:`ring_all_reduce` logs for a k-rank ring over ``n`` elements.
+
+    Pure function of the ring geometry — the mp backend replays this
+    plan into the parent's :class:`TrafficLog` while real processes move
+    the bytes, and the conformance tests assert the coop log matches it
+    record for record.
+    """
+    if k < 2:
+        return []
+    bounds = np.linspace(0, n, k + 1).astype(int)
+
+    def chunk_bytes(i: int) -> int:
+        j = i % k
+        return int(bounds[j + 1] - bounds[j]) * itemsize
+
+    hops = []
+    for step in range(k - 1):  # phase 1: reduce-scatter
+        for i in range(k):
+            hops.append((i, (i + 1) % k, chunk_bytes(i - step)))
+    for step in range(k - 1):  # phase 2: all-gather
+        for i in range(k):
+            hops.append((i, (i + 1) % k, chunk_bytes(i + 1 - step)))
+    return hops
+
+
+def ring_all_gather_hops(shard_nbytes: Sequence[int]) -> list[tuple[int, int, int]]:
+    """Hop plan :func:`all_gather` logs: each rank forwards each of the
+    other ``k-1`` shards once around the ring."""
+    k = len(shard_nbytes)
+    if k < 2:
+        return []
+    hops = []
+    for step in range(k - 1):
+        for i in range(k):
+            hops.append((i, (i + 1) % k, int(shard_nbytes[(i - step) % k])))
+    return hops
+
+
+def ring_reduce_scatter_hops(
+    buffer_nbytes: int, k: int
+) -> list[tuple[int, int, int]]:
+    """Hop plan :func:`reduce_scatter` logs: ``(k-1)`` steps of one
+    slab (``nbytes/k``) per rank."""
+    if k < 2:
+        return []
+    per_rank = buffer_nbytes // k
+    hops = []
+    for step in range(k - 1):
+        for i in range(k):
+            hops.append((i, (i + 1) % k, per_rank))
+    return hops
+
+
 def _check_group_like(
     shards: Sequence[np.ndarray], ranks: Sequence[int], axis: int = 0
 ) -> None:

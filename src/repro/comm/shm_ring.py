@@ -1,0 +1,328 @@
+"""Shared-memory substrate for the multi-process ("mp") backend.
+
+This module owns the two low-level pieces the mp backend is built on:
+
+1. **Segment bookkeeping** — every ``multiprocessing.shared_memory``
+   segment the backend creates is registered in a module-level table and
+   unlinked on :func:`destroy_segment`, :func:`cleanup_all_segments`
+   (also wired to ``atexit``), or abnormal teardown.  Segments carry a
+   recognisable ``reproshm_`` name prefix so tests (and the chaos
+   harness) can assert nothing leaked into ``/dev/shm``.
+
+2. **ShmWorkerPool** — ``k`` real OS processes, one per virtual rank of
+   a process group, that execute the standard ring algorithms over
+   shared-memory numpy buffers.  The rings are *bit-identical* to the
+   cooperative reference in :mod:`repro.comm.primitives`: the coop
+   loops only ever read chunk slices that are disjoint from the slices
+   written in the same ring step, so running the per-rank step bodies
+   concurrently with a barrier between steps reproduces the exact same
+   float64 operation sequence per element.
+
+The parent process keeps all validation, sanitizer recording, span
+emission and :class:`~repro.comm.traffic.TrafficLog` accounting (see
+:mod:`repro.comm.backend`); the pool moves the bytes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing as mp
+import os
+import traceback
+import uuid
+from multiprocessing import shared_memory
+
+import numpy as np
+
+SEGMENT_PREFIX = "reproshm"
+
+#: Default seconds a pool waits on a worker reply / ring barrier before
+#: declaring the pool broken.  Generous: CI machines can be slow.
+POOL_TIMEOUT = 120.0
+
+_LIVE_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+_seg_counter = itertools.count()
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, inherits the parent's modules); fall back."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a tracked shared-memory segment with our name prefix."""
+    name = (
+        f"{SEGMENT_PREFIX}_{os.getpid()}_{next(_seg_counter)}_"
+        f"{uuid.uuid4().hex[:8]}"
+    )
+    seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+    _LIVE_SEGMENTS[seg.name] = seg
+    return seg
+
+
+def destroy_segment(seg: shared_memory.SharedMemory) -> None:
+    """Close and unlink a tracked segment (idempotent, tolerant)."""
+    _LIVE_SEGMENTS.pop(seg.name, None)
+    try:
+        seg.close()
+    except OSError:
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def cleanup_all_segments() -> None:
+    """Unlink every live segment this process created (atexit hook)."""
+    for seg in list(_LIVE_SEGMENTS.values()):
+        destroy_segment(seg)
+
+
+def live_segment_names() -> list[str]:
+    """Names of segments created here and not yet destroyed."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+def leaked_dev_shm_segments() -> list[str]:
+    """``/dev/shm`` entries carrying our prefix (should be empty when
+    no backend is live) — the ground truth the leak tests assert on."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+
+
+atexit.register(cleanup_all_segments)
+
+
+def disable_child_shm_tracking() -> None:
+    """Stop ``resource_tracker`` registration of shared memory in a
+    *worker* process.
+
+    Python 3.11's resource tracker registers a segment on every attach
+    and unlinks it when the attaching process exits — which would tear
+    segments out from under the parent (the well-known CPython
+    gh-82300 behaviour; 3.13 grew ``track=False`` for this).  The
+    parent owns segment lifetime here, so workers must not track.
+    """
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - runs in children
+        if rtype == "shared_memory":
+            return None
+        return orig(name, rtype)
+
+    resource_tracker.register = register
+
+
+def ring_chunk_bounds(n: int, k: int) -> np.ndarray:
+    """The chunk boundaries every ring implementation shares (the same
+    ``np.linspace`` the coop reference uses, so chunk slices agree)."""
+    return np.linspace(0, n, k + 1).astype(int)
+
+
+def _pool_worker_main(rank: int, size: int, conn, barrier) -> None:
+    """Event loop of one pool worker (real OS process, one virtual rank).
+
+    Commands arrive as ``(op, payload)`` tuples; replies are
+    ``("ok", result)`` or ``("err", traceback)``.  Ring ops synchronise
+    steps with the pool barrier; on error the barrier is aborted so
+    peers fail fast instead of deadlocking.
+    """
+    disable_child_shm_tracking()
+
+    def attach(name: str) -> shared_memory.SharedMemory:
+        return shared_memory.SharedMemory(name=name)
+
+    def f64(seg: shared_memory.SharedMemory, n: int) -> np.ndarray:
+        return np.ndarray((n,), dtype=np.float64, buffer=seg.buf)
+
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):  # parent died
+            return
+        if op == "exit":
+            conn.send(("ok", None))
+            return
+        if op == "noop":
+            conn.send(("ok", None))
+            continue
+        segs: list[shared_memory.SharedMemory] = []
+        try:
+            if op == "all_reduce":
+                # Bit-exact parallel transcription of the coop ring: the
+                # coop loop body for dst rank ``r`` at step ``s`` touches
+                # chunk(r-1-s) (phase 1) / chunk(r-s) (phase 2), and its
+                # same-step reads are disjoint from same-step writes, so
+                # a barrier per step reproduces the serial arithmetic.
+                names, n, k = payload
+                mine_seg, prev_seg = attach(names[rank]), attach(names[(rank - 1) % k])
+                segs += [mine_seg, prev_seg]
+                mine, prev = f64(mine_seg, n), f64(prev_seg, n)
+                bounds = ring_chunk_bounds(n, k)
+
+                def chunk(i: int) -> slice:
+                    j = i % k
+                    return slice(bounds[j], bounds[j + 1])
+
+                for step in range(k - 1):  # phase 1: reduce-scatter
+                    sl = chunk(rank - 1 - step)
+                    mine[sl] += prev[sl]
+                    barrier.wait(POOL_TIMEOUT)
+                for step in range(k - 1):  # phase 2: all-gather
+                    sl = chunk(rank - step)
+                    mine[sl] = prev[sl]
+                    barrier.wait(POOL_TIMEOUT)
+            elif op == "all_gather":
+                # Ring gather of row-slots inside equal full-size
+                # segments; slot j of the (moveaxis'd) concatenation
+                # lives at rows [offsets[j], offsets[j+1]).
+                names, offsets, shape, dtype_str, k = payload
+                mine_seg, prev_seg = attach(names[rank]), attach(names[(rank - 1) % k])
+                segs += [mine_seg, prev_seg]
+                dt = np.dtype(dtype_str)
+                mine = np.ndarray(shape, dtype=dt, buffer=mine_seg.buf)
+                prev = np.ndarray(shape, dtype=dt, buffer=prev_seg.buf)
+                for step in range(k - 1):
+                    j = (rank - 1 - step) % k
+                    mine[offsets[j]:offsets[j + 1]] = prev[offsets[j]:offsets[j + 1]]
+                    barrier.wait(POOL_TIMEOUT)
+            elif op == "reduce_scatter":
+                # Each rank pulls its own slab rows from every peer's
+                # full buffer (real cross-process reads) and reduces
+                # them with the same axis-0 ``np.sum`` tree the coop
+                # reference applies to the full stack — elementwise the
+                # reduction order depends only on k, so slab-local
+                # summation is bit-identical.  No inter-worker writes,
+                # hence no barriers.
+                in_names, out_name, shape, k = payload
+                rows = shape[0] // k
+                sl = slice(rank * rows, (rank + 1) * rows)
+                slabs = []
+                for name in in_names:
+                    seg = attach(name)
+                    segs.append(seg)
+                    full = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+                    slabs.append(full[sl])
+                out_seg = attach(out_name)
+                segs.append(out_seg)
+                out = np.ndarray((rows,) + tuple(shape[1:]), dtype=np.float64,
+                                 buffer=out_seg.buf)
+                out[...] = np.sum(np.stack(slabs), axis=0)
+            elif op == "copy":
+                # broadcast fan-out / p2p courier: copy src -> my out.
+                src_name, out_name, nbytes = payload
+                src_seg, out_seg = attach(src_name), attach(out_name)
+                segs += [src_seg, out_seg]
+                out_seg.buf[:nbytes] = src_seg.buf[:nbytes]
+            else:
+                raise ValueError(f"unknown pool op {op!r}")
+            conn.send(("ok", None))
+        except Exception:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            conn.send(("err", traceback.format_exc()))
+        finally:
+            for seg in segs:
+                try:
+                    seg.close()
+                except OSError:
+                    pass
+
+
+class ShmWorkerPool:
+    """``size`` persistent worker processes executing ring collectives.
+
+    One pool per group size; the mp backend keeps a small cache of them.
+    The parent writes operands into shared segments, issues one command
+    per worker, and reads results back once every worker acknowledged.
+    """
+
+    def __init__(self, size: int, *, timeout: float = POOL_TIMEOUT):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self._ctx = mp.get_context(_start_method())
+        self._barrier = self._ctx.Barrier(size)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        for rank in range(size):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_pool_worker_main,
+                args=(rank, size, child_conn, self._barrier),
+                daemon=True,
+                name=f"repro-shm-{size}-{rank}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def request(self, messages: list[tuple]) -> None:
+        """Send one ``(op, payload)`` per worker; raise on any failure."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if len(messages) != self.size:
+            raise ValueError(f"{len(messages)} messages for pool of {self.size}")
+        for conn, msg in zip(self._conns, messages):
+            conn.send(msg)
+        errors = []
+        for rank, conn in enumerate(self._conns):
+            try:
+                if not conn.poll(self.timeout):
+                    raise TimeoutError(f"pool worker {rank} timed out")
+                status, payload = conn.recv()
+            except (EOFError, OSError, TimeoutError) as exc:
+                self.close()
+                raise RuntimeError(
+                    f"shm pool worker {rank} died mid-collective: {exc}"
+                ) from exc
+            if status != "ok":
+                errors.append(f"worker {rank}:\n{payload}")
+        if errors:
+            self._barrier.reset()
+            raise RuntimeError("shm pool collective failed\n" + "\n".join(errors))
+
+    def run(self, op: str, payloads: list) -> None:
+        """Issue ``op`` to every worker with its per-rank payload."""
+        self.request([(op, payload) for payload in payloads])
+
+    def close(self) -> None:
+        """Terminate workers (best effort) — segments are owned and
+        unlinked by the caller / module registry, not by the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("exit", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

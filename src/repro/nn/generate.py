@@ -66,8 +66,13 @@ def _pick(
         return int(np.argmax(logits))
     scaled = logits / temperature
     if top_k is not None and top_k < scaled.size:
-        cutoff = np.partition(scaled, -top_k)[-top_k]
-        scaled = np.where(scaled >= cutoff, scaled, -np.inf)
+        # Keep exactly top_k indices.  A threshold test (scaled >= cutoff)
+        # would keep *more* than top_k candidates when logits tie at the
+        # cutoff value; argpartition breaks ties by index instead.
+        keep = np.argpartition(scaled, -top_k)[-top_k:]
+        mask = np.full_like(scaled, -np.inf)
+        mask[keep] = scaled[keep]
+        scaled = mask
     scaled = scaled - scaled.max()
     probs = np.exp(scaled)
     probs /= probs.sum()

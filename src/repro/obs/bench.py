@@ -323,35 +323,43 @@ class Scenario:
 
     ``build()`` does un-timed setup and returns the callable to time;
     ``derive(median_seconds)``, if given, converts the timing into
-    extra metrics (MFU, tokens/s) recorded alongside.
+    extra metrics (MFU, tokens/s) recorded alongside.  Backend-aware
+    scenarios (``backend_aware=True``) receive the runner's execution
+    backend (``coop``/``mp``) as ``build(backend)``, and the returned
+    callable may carry a ``close`` attribute for un-timed teardown
+    (worker-pool shutdown).
     """
 
     name: str
     kind: str
-    build: Callable[[], Callable[[], None]]
+    build: Callable[..., Callable[[], None]]
     derive: Callable[[float], dict[str, float]] | None = None
     fast: bool = True
+    backend_aware: bool = False
 
 
 SCENARIOS: dict[str, Scenario] = {}
 
 
 def register(name: str, kind: str = "micro", fast: bool = True,
-             derive: Callable[[float], dict[str, float]] | None = None):
+             derive: Callable[[float], dict[str, float]] | None = None,
+             backend_aware: bool = False):
     """Decorator registering a scenario's ``build`` function."""
 
-    def deco(build: Callable[[], Callable[[], None]]):
+    def deco(build: Callable[..., Callable[[], None]]):
         if name in SCENARIOS:
             raise ValueError(f"duplicate scenario {name!r}")
         SCENARIOS[name] = Scenario(
-            name=name, kind=kind, build=build, derive=derive, fast=fast
+            name=name, kind=kind, build=build, derive=derive, fast=fast,
+            backend_aware=backend_aware,
         )
         return build
 
     return deco
 
 
-def _tiny_engine(p: int = 2, t: int = 1, d: int = 2):
+def _tiny_engine(p: int = 2, t: int = 1, d: int = 2,
+                 backend: str = "coop"):
     from repro.config import ParallelConfig, tiny_test_model
     from repro.parallel import PTDTrainer
 
@@ -369,7 +377,7 @@ def _tiny_engine(p: int = 2, t: int = 1, d: int = 2):
     shape = (parallel.global_batch_size, config.seq_length)
     ids = rng.integers(0, config.vocab_size, size=shape)
     targets = rng.integers(0, config.vocab_size, size=shape)
-    trainer = PTDTrainer(config, parallel)
+    trainer = PTDTrainer(config, parallel, backend=backend)
     return config, parallel, trainer, ids, targets
 
 
@@ -390,24 +398,82 @@ def _engine_derive(p: int, t: int, d: int):
 
 
 @register("engine.train_step.p2d2", kind="macro",
-          derive=_engine_derive(2, 1, 2))
-def _bench_engine_p2d2():
-    _, _, trainer, ids, targets = _tiny_engine(2, 1, 2)
+          derive=_engine_derive(2, 1, 2), backend_aware=True)
+def _bench_engine_p2d2(backend: str = "coop"):
+    _, _, trainer, ids, targets = _tiny_engine(2, 1, 2, backend)
 
     def run():
         trainer.train_step(ids, targets)
 
+    run.close = trainer.close
     return run
 
 
 @register("engine.train_step.t2d2", kind="macro",
-          derive=_engine_derive(1, 2, 2))
-def _bench_engine_t2d2():
-    _, _, trainer, ids, targets = _tiny_engine(1, 2, 2)
+          derive=_engine_derive(1, 2, 2), backend_aware=True)
+def _bench_engine_t2d2(backend: str = "coop"):
+    _, _, trainer, ids, targets = _tiny_engine(1, 2, 2, backend)
 
     def run():
         trainer.train_step(ids, targets)
 
+    run.close = trainer.close
+    return run
+
+
+def _d4_shapes():
+    from repro.config import ParallelConfig, tiny_test_model
+
+    config = tiny_test_model(num_layers=4, hidden_size=96,
+                             num_attention_heads=4, vocab_size=256,
+                             seq_length=64)
+    parallel = ParallelConfig(
+        pipeline_parallel_size=1,
+        tensor_parallel_size=1,
+        data_parallel_size=4,
+        microbatch_size=2,
+        global_batch_size=8,
+    )
+    return config, parallel
+
+
+def _d4_engine(backend: str):
+    """The cross-backend speedup workload: d=4 replicas of a model big
+    enough that replica compute dominates shared-memory IPC, so the mp
+    backend's real OS-process parallelism shows up as wall-clock."""
+    from repro.parallel import PTDTrainer
+
+    config, parallel = _d4_shapes()
+    rng = np.random.default_rng(0)
+    shape = (parallel.global_batch_size, config.seq_length)
+    ids = rng.integers(0, config.vocab_size, size=shape)
+    targets = rng.integers(0, config.vocab_size, size=shape)
+    trainer = PTDTrainer(config, parallel, backend=backend)
+    return config, parallel, trainer, ids, targets
+
+
+def _d4_derive(seconds: float) -> dict[str, float]:
+    from repro.hardware import a100_80gb
+    from repro.obs.telemetry import throughput_report
+
+    config, parallel = _d4_shapes()
+    rep = throughput_report(config, parallel, seconds,
+                            peak_flops=a100_80gb().peak_flops)
+    return {
+        "tokens_per_s": rep.tokens_per_second,
+        "tflops_per_gpu": rep.tflops_per_gpu,
+    }
+
+
+@register("engine.train_step.d4", kind="macro", fast=False,
+          derive=_d4_derive, backend_aware=True)
+def _bench_engine_d4(backend: str = "coop"):
+    _, _, trainer, ids, targets = _d4_engine(backend)
+
+    def run():
+        trainer.train_step(ids, targets)
+
+    run.close = trainer.close
     return run
 
 
@@ -552,14 +618,22 @@ def run_bench(
     label: str = "run",
     filter_substr: str | None = None,
     suites: str | None = None,
+    backend: str = "coop",
     progress: Callable[[str], None] | None = None,
 ) -> BenchReport:
     """Run the scenario registry (and optionally pytest suites).
 
     ``fast`` halves the repeat count for CI smoke runs; ``suites`` is a
     glob (``"*"`` for all) selecting ``benchmarks/bench_*.py`` files to
-    execute as subprocess smoke runs.
+    execute as subprocess smoke runs; ``backend`` selects the execution
+    backend (``coop``/``mp``) for backend-aware engine scenarios.
     """
+    from repro.comm import BACKENDS
+
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}"
+        )
     if repeats is None:
         repeats = 3 if fast else 7
     if warmup is None:
@@ -575,12 +649,17 @@ def run_bench(
         if filter_substr and filter_substr not in name:
             continue
         say(f"bench {name} ({sc.kind}, {warmup}+{repeats} runs)")
-        fn = sc.build()
-        samples = []
-        for _ in range(warmup + repeats):
-            t0 = time.perf_counter()
-            fn()
-            samples.append(time.perf_counter() - t0)
+        fn = sc.build(backend) if sc.backend_aware else sc.build()
+        try:
+            samples = []
+            for _ in range(warmup + repeats):
+                t0 = time.perf_counter()
+                fn()
+                samples.append(time.perf_counter() - t0)
+        finally:
+            teardown = getattr(fn, "close", None)
+            if teardown is not None:
+                teardown()
         stats = BenchStats.from_samples(samples, warmup=warmup, seed=seed)
         metrics = dict(sc.derive(stats.median)) if sc.derive else {}
         records.append(

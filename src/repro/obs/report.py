@@ -6,14 +6,62 @@ reports (oldest → newest, with trend arrows), the extra metrics each
 scenario carries (simulated MFU / TFLOP-per-GPU vs the paper's Table 1
 numbers, tokens/s), and the environment fingerprints — as a flat TTY
 table or a dependency-free static HTML page (``--html``).
+
+With no files given the CLI falls back to :func:`discover_reports`:
+every root-level ``BENCH_*.json`` ordered by its ``created_unix``
+stamp (not filename), with colliding ``--label`` values disambiguated
+per column.
 """
 
 from __future__ import annotations
 
 import html
 import time
+from pathlib import Path
 
-from .bench import BenchReport
+from .bench import BenchReport, load_report
+
+
+def discover_reports(directory: str | Path = ".") -> list[BenchReport]:
+    """Every readable root-level ``BENCH_*.json``, oldest first.
+
+    Ordering is by the report's own ``created_unix`` stamp, *not* by
+    filename: a lexicographic glob puts ``BENCH_pr.json`` before
+    ``BENCH_v2.json`` regardless of which run actually came later,
+    which renders the trajectory (and its trend arrows) backwards.
+    Files that fail to parse or carry a foreign schema version are
+    skipped rather than aborting the whole dashboard.
+    """
+    reports = []
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            reports.append(load_report(path))
+        except (OSError, ValueError, KeyError):
+            continue
+    reports.sort(key=lambda r: r.created_unix)
+    return reports
+
+
+def _display_labels(reports: list[BenchReport]) -> list[str]:
+    """Per-report column labels, disambiguated on collision.
+
+    Two reports produced with the same ``--label`` (the default is
+    ``run``) would otherwise render as indistinguishable columns; a
+    ``#k`` occurrence suffix keeps every column addressable while
+    leaving unique labels untouched.
+    """
+    counts: dict[str, int] = {}
+    for rep in reports:
+        counts[rep.label] = counts.get(rep.label, 0) + 1
+    seen: dict[str, int] = {}
+    labels = []
+    for rep in reports:
+        if counts[rep.label] == 1:
+            labels.append(rep.label)
+        else:
+            seen[rep.label] = seen.get(rep.label, 0) + 1
+            labels.append(f"{rep.label}#{seen[rep.label]}")
+    return labels
 
 
 def _trend(values: list[float | None]) -> str:
@@ -52,20 +100,21 @@ def render_text(reports: list[BenchReport]) -> str:
     """The TTY dashboard."""
     if not reports:
         raise ValueError("no BENCH reports given")
+    labels = _display_labels(reports)
     lines = []
-    lines.append("perf trajectory: " + " -> ".join(r.label for r in reports))
-    for rep in reports:
+    lines.append("perf trajectory: " + " -> ".join(labels))
+    for rep, label in zip(reports, labels):
         created = time.strftime("%Y-%m-%d %H:%M",
                                 time.localtime(rep.created_unix))
         lines.append(
-            f"  {rep.label}: {created}  git={rep.env.git_sha}  "
+            f"  {label}: {created}  git={rep.env.git_sha}  "
             f"py={rep.env.python} numpy={rep.env.numpy} "
             f"cpus={rep.env.cpu_count}"
         )
     lines.append("")
-    width = max(12, *(len(r.label) for r in reports)) + 1
+    width = max(12, *(len(lb) for lb in labels)) + 1
     header = f"{'scenario (median s)':<32}" + "".join(
-        f"{r.label:>{width}}" for r in reports
+        f"{lb:>{width}}" for lb in labels
     ) + "  trend"
     lines.append(header)
     lines.append("-" * len(header))
@@ -80,7 +129,7 @@ def render_text(reports: list[BenchReport]) -> str:
     extras = [(rec.name, rec.metrics) for rec in newest.records if rec.metrics]
     if extras:
         lines.append("")
-        lines.append(f"metrics ({newest.label}):")
+        lines.append(f"metrics ({labels[-1]}):")
         for name, metrics in extras:
             pairs = "  ".join(f"{k}={v:.6g}" for k, v in sorted(metrics.items()))
             lines.append(f"  {name:<32} {pairs}")
@@ -105,15 +154,16 @@ def render_html(reports: list[BenchReport]) -> str:
 </style></head><body>
 <h1>Performance observatory</h1>
 """
+    labels = _display_labels(reports)
     parts = [head]
     parts.append("<table><caption>Reports</caption>"
                  "<tr><th>label</th><th>created</th><th>git</th>"
                  "<th>python</th><th>numpy</th><th>cpus</th></tr>")
-    for rep in reports:
+    for rep, label in zip(reports, labels):
         created = time.strftime("%Y-%m-%d %H:%M",
                                 time.localtime(rep.created_unix))
         parts.append(
-            f"<tr><td>{e(rep.label)}</td><td>{created}</td>"
+            f"<tr><td>{e(label)}</td><td>{created}</td>"
             f"<td><code>{e(rep.env.git_sha)}</code></td>"
             f"<td>{e(rep.env.python)}</td><td>{e(rep.env.numpy)}</td>"
             f"<td>{rep.env.cpu_count}</td></tr>"
@@ -122,7 +172,7 @@ def render_html(reports: list[BenchReport]) -> str:
 
     parts.append("<table><caption>Median seconds per scenario</caption><tr>"
                  "<th>scenario</th>"
-                 + "".join(f"<th>{e(r.label)}</th>" for r in reports)
+                 + "".join(f"<th>{e(lb)}</th>" for lb in labels)
                  + "<th>trend</th></tr>")
     for name, medians in _scenario_rows(reports):
         arrow = _trend(medians)
@@ -140,7 +190,7 @@ def render_html(reports: list[BenchReport]) -> str:
     newest = reports[-1]
     extras = [(rec.name, rec.metrics) for rec in newest.records if rec.metrics]
     if extras:
-        parts.append(f"<table><caption>Metrics ({e(newest.label)})</caption>"
+        parts.append(f"<table><caption>Metrics ({e(labels[-1])})</caption>"
                      "<tr><th>scenario</th><th>metric</th><th>value</th></tr>")
         for name, metrics in extras:
             for k, v in sorted(metrics.items()):

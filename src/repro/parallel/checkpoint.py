@@ -401,6 +401,9 @@ def load_checkpoint(
             f"checkpoint {directory}: model.npz is missing parameter {exc}"
         ) from exc
     trainer.iteration = int(meta["iteration"])
+    # The parent's canonical state changed under the trainer: on the mp
+    # backend the replica workers must re-sync before the next step.
+    trainer.invalidate_workers()
 
     same_parallel = meta["parallel"] == _parallel_signature(trainer.parallel)
     if not same_parallel:

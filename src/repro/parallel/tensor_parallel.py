@@ -50,10 +50,16 @@ from repro.nn.transformer import (
 
 @dataclass
 class TensorParallelGroup:
-    """The tensor-parallel group a sharded layer communicates in."""
+    """The tensor-parallel group a sharded layer communicates in.
+
+    ``backend`` (a :class:`repro.comm.Backend` or None for the coop
+    oracle) selects how the all-reduce executes; the arithmetic and
+    traffic accounting are backend-invariant.
+    """
 
     ranks: list[int]
     log: TrafficLog = field(default_factory=TrafficLog)
+    backend: Any = None
 
     @property
     def size(self) -> int:
@@ -71,9 +77,15 @@ class TensorParallelGroup:
             )
         if self.size == 1:
             return partials[0]
-        out = ring_all_reduce(
-            partials, self.ranks, self.log, TrafficKind.TENSOR_PARALLEL, tag
-        )
+        if self.backend is not None:
+            out = self.backend.all_reduce(
+                partials, self.ranks, self.log,
+                TrafficKind.TENSOR_PARALLEL, tag,
+            )
+        else:
+            out = ring_all_reduce(
+                partials, self.ranks, self.log, TrafficKind.TENSOR_PARALLEL, tag
+            )
         return out[0]
 
 

@@ -25,20 +25,39 @@ import time
 
 import numpy as np
 
-from repro.comm import ProcessGroups, TrafficLog
+from repro.comm import BACKENDS, Backend, ProcessGroups, TrafficLog
+from repro.comm.primitives import ring_all_reduce_hops
+from repro.comm.traffic import TrafficKind
 from repro.config import GPTConfig, ParallelConfig
 from repro.nn import Adam
 from repro.obs import span as obs_span
 from repro.obs.runlog import current_run_logger
 from repro.obs.tracer import current_tracer
 from repro.schedule import make_schedule
+from repro.verify.sanitizer import record_collective as _sanitize
 
 from .data_parallel import all_reduce_gradients, scatter_batch
 from .pipeline_parallel import PipelineParallelGPT, make_microbatches
 
 
 class PTDTrainer:
-    """Train a GPT with composed pipeline/tensor/data parallelism."""
+    """Train a GPT with composed pipeline/tensor/data parallelism.
+
+    ``backend`` selects the execution substrate:
+
+    - ``"coop"`` (default): every virtual rank executes cooperatively in
+      this process — the bit-exact oracle.
+    - ``"mp"``: each data-parallel replica runs as a real OS process
+      (:class:`~repro.parallel.mp_workers.ReplicaWorkerGroup`); the
+      gradient ring all-reduce runs over shared-memory buffers with one
+      barrier per ring step.  Losses, parameters, optimizer state and
+      the :class:`TrafficLog` are bit-identical to the oracle (asserted
+      by ``repro verify --only backend``).  The parent keeps canonical
+      replicas/optimizers for checkpointing; state is pulled from
+      worker 0 lazily (replicas are identical across the data-parallel
+      group by construction).  Call :meth:`close` (or use the trainer
+      as a context manager) to release the worker processes.
+    """
 
     def __init__(
         self,
@@ -55,11 +74,19 @@ class PTDTrainer:
         grad_clip_norm: float | None = None,
         loss_scale: float = 1.0,
         log: TrafficLog | None = None,
+        backend: str | Backend = "coop",
     ):
         parallel.validate_for_model(config)
         self.config = config
         self.parallel = parallel
-        self.groups = ProcessGroups(parallel)
+        self.backend_name = (
+            backend.name if isinstance(backend, Backend) else backend
+        )
+        if self.backend_name not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.groups = ProcessGroups(parallel, backend=backend)
         self.log = log if log is not None else TrafficLog()
         self.schedule = make_schedule(
             schedule,
@@ -100,6 +127,34 @@ class PTDTrainer:
         self.recompute_activations = recompute_activations
         self.last_grad_norm: float | None = None
         self.iteration = 0
+        # mp backend: one real process per data-parallel replica.  The
+        # parent's replicas stay the canonical checkpoint state; the
+        # staleness flags track which side holds the freshest weights.
+        self._workers = None
+        self._parent_stale = False
+        self._workers_stale = False
+        if self.backend_name == "mp":
+            from .mp_workers import ReplicaWorkerGroup
+
+            self._workers = ReplicaWorkerGroup(
+                config=config,
+                parallel=parallel,
+                schedule=schedule,
+                seed=seed,
+                lr=lr,
+                betas=betas,
+                dropout=dropout,
+                attention_dropout=attention_dropout,
+                recompute_activations=recompute_activations,
+                grad_clip_norm=grad_clip_norm,
+                loss_scale=loss_scale,
+                pipeline_ranks_per_dp=[
+                    replica.pipeline_ranks for replica in self.replicas
+                ],
+                total_param_size=sum(
+                    p.size for p in self.replicas[0].parameters()
+                ),
+            )
         #: Callables invoked with the trainer at the top of every
         #: ``train_step``, before any compute.  The chaos harness
         #: (:mod:`repro.resilience.harness`) injects rank failures here;
@@ -130,39 +185,10 @@ class PTDTrainer:
         step_start = time.perf_counter() if observed else 0.0
         rank_busy: dict[int, float] | None = {} if runlog is not None else None
         with obs_span("iteration", phase="iteration", iteration=self.iteration):
-            with obs_span("pipeline", phase="pipeline"):
-                for dp, (replica, (rid, rtgt)) in enumerate(
-                    zip(self.replicas, shards)
-                ):
-                    replica_start = (
-                        time.perf_counter() if rank_busy is not None else 0.0
-                    )
-                    replica.zero_grad()
-                    microbatches = make_microbatches(rid, rtgt, m)
-                    losses.append(
-                        replica.run_iteration(
-                            microbatches, grad_scale=self.loss_scale / m
-                        )
-                    )
-                    if rank_busy is not None:
-                        rank_busy[dp] = time.perf_counter() - replica_start
-            if d > 1:
-                with obs_span("grad-allreduce", phase="grad-allreduce"):
-                    all_reduce_gradients(
-                        [replica.parameters() for replica in self.replicas],
-                        self._dp_ranks,
-                        self.log,
-                        average=True,
-                    )
-            with obs_span("optimizer", phase="optimizer"):
-                if self.loss_scale != 1.0:
-                    for replica in self.replicas:
-                        for p in replica.parameters():
-                            p.grad /= self.loss_scale
-                if self.grad_clip_norm is not None:
-                    self._clip_gradients()
-                for opt in self.optimizers:
-                    opt.step()
+            if self._workers is not None:
+                self._run_step_mp(shards, d, losses, rank_busy)
+            else:
+                self._run_step_coop(shards, d, m, losses, rank_busy)
         mean_loss = float(np.mean(losses))
         if observed:
             seconds = time.perf_counter() - step_start
@@ -174,6 +200,130 @@ class PTDTrainer:
                 )
         self.iteration += 1
         return mean_loss
+
+    def _run_step_coop(self, shards, d, m, losses, rank_busy) -> None:
+        """The cooperative oracle step (single process, every virtual
+        rank in turn) — the reference the mp path is conformed against."""
+        with obs_span("pipeline", phase="pipeline"):
+            for dp, (replica, (rid, rtgt)) in enumerate(
+                zip(self.replicas, shards)
+            ):
+                replica_start = (
+                    time.perf_counter() if rank_busy is not None else 0.0
+                )
+                replica.zero_grad()
+                microbatches = make_microbatches(rid, rtgt, m)
+                losses.append(
+                    replica.run_iteration(
+                        microbatches, grad_scale=self.loss_scale / m
+                    )
+                )
+                if rank_busy is not None:
+                    rank_busy[dp] = time.perf_counter() - replica_start
+        if d > 1:
+            with obs_span("grad-allreduce", phase="grad-allreduce"):
+                all_reduce_gradients(
+                    [replica.parameters() for replica in self.replicas],
+                    self._dp_ranks,
+                    self.log,
+                    average=True,
+                )
+        with obs_span("optimizer", phase="optimizer"):
+            if self.loss_scale != 1.0:
+                for replica in self.replicas:
+                    for p in replica.parameters():
+                        p.grad /= self.loss_scale
+            if self.grad_clip_norm is not None:
+                self._clip_gradients()
+            for opt in self.optimizers:
+                opt.step()
+
+    def _run_step_mp(self, shards, d, losses, rank_busy) -> None:
+        """One step on real processes: each replica worker runs its
+        pipeline and the shared-memory gradient ring, then steps its
+        Adam locally.  The parent replays the workers' replica-local
+        traffic (in data-parallel order, matching the oracle's
+        sequential execution) and the analytic §3.3.1 gradient-ring hop
+        plan, so ``self.log`` is record-for-record identical to coop.
+        """
+        from .mp_workers import replay_records
+
+        if self._workers_stale:
+            self._push_worker_state()
+        with obs_span("pipeline", phase="pipeline"):
+            results = self._workers.step(list(shards))
+            for dp, (loss, records, norm, seconds) in enumerate(results):
+                losses.append(loss)
+                replay_records(self.log, records)
+                if rank_busy is not None:
+                    rank_busy[dp] = seconds
+                if dp == 0:
+                    self.last_grad_norm = norm
+        if d > 1:
+            with obs_span("grad-allreduce", phase="grad-allreduce"):
+                for i, p in enumerate(self.replicas[0].parameters()):
+                    _sanitize("all_reduce", self._dp_ranks, p.data.shape,
+                              p.data.dtype, f"dp.grad.{i}")
+                    hops = ring_all_reduce_hops(p.data.size, 8, d)
+                    for si, di, nbytes in hops:
+                        self.log.add(
+                            self._dp_ranks[si], self._dp_ranks[di], nbytes,
+                            TrafficKind.DATA_PARALLEL, f"dp.grad.{i}",
+                        )
+        with obs_span("optimizer", phase="optimizer"):
+            pass  # loss-scale unwind, clip and Adam ran inside the workers
+        self._parent_stale = True
+
+    def _pull_worker_state(self) -> None:
+        """Refresh the parent's canonical replicas/optimizers from
+        worker 0 (replicas are bit-identical across the data-parallel
+        group, so one pull covers all of them)."""
+        state = self._workers.get_state(0)
+        for replica in self.replicas:
+            for p, arr in zip(replica.parameters(), state["params"]):
+                p.data[...] = arr
+        for opt in self.optimizers:
+            for a, arr in zip(opt._m, state["m"]):
+                a[...] = arr
+            for a, arr in zip(opt._v, state["v"]):
+                a[...] = arr
+            opt.step_count = state["step_count"]
+        self._parent_stale = False
+
+    def _push_worker_state(self) -> None:
+        """Push the parent's canonical state to every worker (after a
+        checkpoint restore)."""
+        state = {
+            "params": [p.data.copy() for p in self.replicas[0].parameters()],
+            "m": [a.copy() for a in self.optimizers[0]._m],
+            "v": [a.copy() for a in self.optimizers[0]._v],
+            "step_count": self.optimizers[0].step_count,
+        }
+        self._workers.set_state(state)
+        self._workers_stale = False
+
+    def invalidate_workers(self) -> None:
+        """Mark worker state stale after the parent's replicas were
+        mutated externally (checkpoint restore); a no-op on coop."""
+        if self._workers is not None:
+            self._workers_stale = True
+
+    def sync_from_workers(self) -> None:
+        """Ensure the parent replicas hold the freshest parameters."""
+        if self._workers is not None and self._parent_stale:
+            self._pull_worker_state()
+
+    def close(self) -> None:
+        """Release backend resources (mp worker processes + segments)."""
+        if self._workers is not None:
+            self._workers.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     def _publish_telemetry(self, tracer, seconds: float) -> None:
         """Table-1 throughput gauges + per-GPU memory counter samples.
@@ -261,6 +411,7 @@ class PTDTrainer:
 
     def evaluate(self, ids: np.ndarray, targets: np.ndarray) -> float:
         """Loss without gradient accumulation or update (replica 0)."""
+        self.sync_from_workers()
         m = self.parallel.num_microbatches
         d = self.parallel.data_parallel_size
         per = ids.shape[0] // d
@@ -273,6 +424,7 @@ class PTDTrainer:
 
     def gather_state_dict(self) -> dict[str, np.ndarray]:
         """Replica 0's full serial-layout weights."""
+        self.sync_from_workers()
         return self.replicas[0].gather_state_dict()
 
     def parameters_per_rank(self) -> int:

@@ -47,10 +47,12 @@ class ZeroShardedParameter:
         padded = np.concatenate([flat, np.zeros(pad)])
         self.shards = [s.copy() for s in np.split(padded, d)]
 
-    def gather(self, ranks: Sequence[int], log: TrafficLog | None, tag: str) -> None:
+    def gather(self, ranks: Sequence[int], log: TrafficLog | None, tag: str,
+               *, backend=None) -> None:
         """All-gather shards into the full parameter (phases 1 and 2)."""
         if self.d > 1:
-            full = all_gather(
+            gather_fn = backend.all_gather if backend is not None else all_gather
+            full = gather_fn(
                 self.shards, ranks, log, TrafficKind.DATA_PARALLEL, tag
             )[0]
         else:
@@ -64,6 +66,7 @@ class ZeroShardedParameter:
         log: TrafficLog | None,
         *,
         average: bool = True,
+        backend=None,
     ) -> list[np.ndarray]:
         """Reduce-scatter per-replica gradients; returns per-rank shards."""
         padded = []
@@ -72,7 +75,8 @@ class ZeroShardedParameter:
             pad = self.padded_size - flat.size
             padded.append(np.concatenate([flat, np.zeros(pad)]))
         stacked = [p.reshape(self.d, self.shard_size) for p in padded]
-        shards = reduce_scatter(stacked, ranks, log, TrafficKind.DATA_PARALLEL, "zero.rs")
+        rs = backend.reduce_scatter if backend is not None else reduce_scatter
+        shards = rs(stacked, ranks, log, TrafficKind.DATA_PARALLEL, "zero.rs")
         out = [s.ravel() for s in shards]
         if average:
             out = [s / self.d for s in out]
@@ -98,9 +102,20 @@ class Zero3Engine:
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         log: TrafficLog | None = None,
+        backend: str | None = None,
     ):
         if data_parallel_size < 1:
             raise ValueError("data_parallel_size must be >= 1")
+        from repro.comm.backend import Backend, get_backend
+
+        #: Execution backend for the gather/reduce-scatter collectives
+        #: (None/"coop" -> the single-process oracle, "mp" -> real
+        #: processes over shared memory).  Stored resolved; callers that
+        #: pass "mp" should ``close()`` the engine when done.
+        self.backend = (
+            backend if isinstance(backend, Backend)
+            else get_backend(backend)
+        )
         self.d = data_parallel_size
         self.ranks = list(ranks) if ranks is not None else list(range(self.d))
         if len(self.ranks) != self.d:
@@ -119,7 +134,12 @@ class Zero3Engine:
     def gather_params(self, phase: str) -> None:
         """Phase 1/2: materialize full parameters from the shards."""
         for sp in self.sharded:
-            sp.gather(self.ranks, self.log, f"zero.gather.{phase}")
+            sp.gather(self.ranks, self.log, f"zero.gather.{phase}",
+                      backend=self.backend)
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, shm segments)."""
+        self.backend.close()
 
     def reduce_and_step(self, replica_grads: list[list[np.ndarray]]) -> None:
         """Phase 3+4: reduce-scatter grads, sharded Adam step.
@@ -131,7 +151,9 @@ class Zero3Engine:
             raise ValueError(f"expected {self.d} replicas of gradients")
         for i, sp in enumerate(self.sharded):
             grads = [replica_grads[r][i] for r in range(self.d)]
-            shard_grads = sp.reduce_scatter_grads(grads, self.ranks, self.log)
+            shard_grads = sp.reduce_scatter_grads(
+                grads, self.ranks, self.log, backend=self.backend
+            )
             for r in range(self.d):
                 self._shard_params[r][i].grad[...] = shard_grads[r]
         for r in range(self.d):

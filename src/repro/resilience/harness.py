@@ -270,6 +270,7 @@ class ChaosHarness:
         allow_reshard: bool = True,
         silent_rounds: int = 2,
         sleep: Callable[[float], None] | None = None,
+        backend: str = "coop",
     ):
         if total_iterations < 1:
             raise ValueError(
@@ -290,8 +291,16 @@ class ChaosHarness:
                 "need 0 < backoff_base <= backoff_cap, got "
                 f"{backoff_base}/{backoff_cap}"
             )
+        from repro.comm import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from "
+                f"{', '.join(BACKENDS)}"
+            )
         self.config = config
         self.parallel = parallel
+        self.backend = backend
         self.plan = plan if plan is not None else ChaosPlan()
         self.total_iterations = total_iterations
         self.checkpoint_every = checkpoint_every
@@ -348,7 +357,7 @@ class ChaosHarness:
                       schedule: str) -> PTDTrainer:
         trainer = PTDTrainer(
             self.config, parallel, schedule=schedule,
-            seed=self.seed, lr=self.lr,
+            seed=self.seed, lr=self.lr, backend=self.backend,
         )
         trainer.pre_step_hooks.append(self._kill_hook)
         return trainer
@@ -455,6 +464,7 @@ class ChaosHarness:
             except CheckpointNotFoundError:
                 # Nothing usable on disk: restart the run from scratch
                 # (deterministic init, so the rerun is still exact).
+                trainer.close()
                 trainer = self._make_trainer(parallel, schedule)
                 report.records.append(RecoveryRecord(
                     "restart-from-scratch", failure.iteration
@@ -495,52 +505,61 @@ class ChaosHarness:
             run_logging(_TelemetryFaults(outer, self.plan))
             if outer is not None else contextlib.nullcontext()
         )
-        with obs_span("chaos-run", phase="chaos.run"), logging:
-            while trainer.iteration < total:
-                iteration = trainer.iteration
-                ids, targets = batch_for_iteration(
-                    self.config, parallel.global_batch_size,
-                    self.seed, iteration,
-                )
-                try:
-                    losses[iteration] = trainer.train_step(ids, targets)
-                except RankFailureError as failure:
-                    report.restarts += 1
-                    with obs_span("rank-failure", phase="chaos.failure",
-                                  iteration=failure.iteration,
-                                  rank=failure.rank):
-                        pass
-                    runlog = current_run_logger()
-                    if runlog is not None:
-                        runlog.fault(
-                            "kill", failure.iteration,
-                            expect="heartbeat-gap", rank=failure.rank,
-                            permanent=failure.permanent,
+        try:
+            with obs_span("chaos-run", phase="chaos.run"), logging:
+                while trainer.iteration < total:
+                    iteration = trainer.iteration
+                    ids, targets = batch_for_iteration(
+                        self.config, parallel.global_batch_size,
+                        self.seed, iteration,
+                    )
+                    try:
+                        losses[iteration] = trainer.train_step(ids, targets)
+                    except RankFailureError as failure:
+                        report.restarts += 1
+                        with obs_span("rank-failure", phase="chaos.failure",
+                                      iteration=failure.iteration,
+                                      rank=failure.rank):
+                            pass
+                        runlog = current_run_logger()
+                        if runlog is not None:
+                            runlog.fault(
+                                "kill", failure.iteration,
+                                expect="heartbeat-gap", rank=failure.rank,
+                                permanent=failure.permanent,
+                            )
+                            alive = [r for r in range(parallel.world_size)
+                                     if r != failure.rank]
+                            for _ in range(self.silent_rounds):
+                                runlog.heartbeat(alive, failure.iteration)
+                        # Tear down the dead trainer's worker processes
+                        # and shared-memory segments before respawning:
+                        # a kill must not leak /dev/shm segments under
+                        # the mp backend (the coop path makes this a
+                        # no-op).
+                        trainer.close()
+                        if report.restarts > self.max_restarts:
+                            raise HarnessGaveUpError(
+                                f"more than {self.max_restarts} restarts"
+                            ) from failure
+                        trainer, parallel, schedule = self._recover(
+                            failure, report, parallel, schedule
                         )
-                        alive = [r for r in range(parallel.world_size)
-                                 if r != failure.rank]
-                        for _ in range(self.silent_rounds):
-                            runlog.heartbeat(alive, failure.iteration)
-                    if report.restarts > self.max_restarts:
-                        raise HarnessGaveUpError(
-                            f"more than {self.max_restarts} restarts"
-                        ) from failure
-                    trainer, parallel, schedule = self._recover(
-                        failure, report, parallel, schedule
+                        continue
+                    boundary = (
+                        trainer.iteration % self.checkpoint_every == 0
+                        or trainer.iteration == total
                     )
-                    continue
-                boundary = (
-                    trainer.iteration % self.checkpoint_every == 0
-                    or trainer.iteration == total
-                )
-                if boundary:
-                    path = self._save_with_retry(trainer, report)
-                    self._apply_corruptions(
-                        trainer.iteration, path, report
-                    )
-        report.final_loss = losses[-1]
-        report.final_state = trainer.gather_state_dict()
-        report.final_parallel = parallel
+                    if boundary:
+                        path = self._save_with_retry(trainer, report)
+                        self._apply_corruptions(
+                            trainer.iteration, path, report
+                        )
+            report.final_loss = losses[-1]
+            report.final_state = trainer.gather_state_dict()
+            report.final_parallel = parallel
+        finally:
+            trainer.close()
         return report
 
 

@@ -1,6 +1,6 @@
 """``python -m repro verify``: run every verification layer, report, exit.
 
-Five sections, each independently reportable:
+Six sections, each independently reportable:
 
 - ``schedules``     -- static validation of every shipped schedule
   generator across a (p, m, v) grid, plus any user-supplied schedule
@@ -9,6 +9,11 @@ Five sections, each independently reportable:
   collective sanitizer; any cross-rank timeline divergence fails.
 - ``conformance``   -- N sampled random configurations trained against
   the single-rank baseline (``--configs``/``--seed``/``--case``).
+- ``backend``       -- cross-backend conformance
+  (:mod:`repro.verify.backend_check`): the multi-process shared-memory
+  backend must be bit-identical to the cooperative oracle (losses,
+  parameters, optimizer state, traffic log) over the same stratified
+  config grid, and must leak no ``/dev/shm`` segments.
 - ``conservation``  -- measured traffic bytes and FLOPs vs the §3.2 /
   eq. (3) closed forms, exact integer equality.
 - ``chaos``         -- fault-tolerance conformance
@@ -177,6 +182,28 @@ def _run_conformance(fast: bool, num_cases: int, seed: int,
     return section
 
 
+def _run_backend(fast: bool, num_cases: int | None, seed: int) -> SectionResult:
+    """Cross-backend conformance: mp (real processes over shared
+    memory) must be *bit*-identical to the coop oracle — losses,
+    parameters, optimizer state and the traffic log, with no leaked
+    ``/dev/shm`` segments."""
+    from .backend_check import run_backend_checks
+
+    section = SectionResult("backend")
+    results = run_backend_checks(fast, num_cases, seed)
+    section.checks = len(results)
+    for case, failures in results:
+        for failure in failures:
+            section.failures.append(
+                f"{case.describe()}: {failure}\nrepro: {case.repro_string}"
+            )
+    section.notes.append(
+        f"{len(results)} configs bit-compared coop vs mp "
+        "(losses, params, optimizer, traffic)"
+    )
+    return section
+
+
 def _run_conservation(fast: bool) -> SectionResult:
     from .conservation import check_conservation, default_conservation_configs
 
@@ -265,7 +292,8 @@ def run_verification(
             f"{', '.join(INJECT_MODES)}"
         )
     if only is not None and only not in (
-        "schedules", "sanitizer", "conformance", "conservation", "chaos"
+        "schedules", "sanitizer", "conformance", "backend", "conservation",
+        "chaos",
     ):
         raise ValueError(f"unknown section {only!r}")
     if num_cases is None:
@@ -293,6 +321,11 @@ def run_verification(
         if only in (None, "conformance"):
             report.sections.append(
                 _run_conformance(fast, num_cases, seed, None, None)
+            )
+        if only in (None, "backend"):
+            report.sections.append(
+                _run_backend(fast, num_cases if only == "backend" else None,
+                             seed)
             )
         if only in (None, "conservation"):
             report.sections.append(_run_conservation(fast))

@@ -436,10 +436,12 @@ class TestReport:
         rc = main(["report", str(path), str(path), "--html", str(html)])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "perf trajectory: a -> a" in out
+        # Colliding labels render as disambiguated columns.
+        assert "perf trajectory: a#1 -> a#2" in out
         assert "schedule.interleaved.p8m64v4" in out
         text = html.read_text()
         assert "<h1>Performance observatory</h1>" in text
+        assert "a#2" in text
         assert "schedule.interleaved.p8m64v4" in text
 
 
@@ -503,12 +505,37 @@ TINY_TRACE = ["trace", "--layers", "4", "--hidden", "32", "--heads", "4",
 
 
 class TestReportEdgeCases:
-    def test_zero_files_prints_hint(self, capsys):
+    def test_zero_files_prints_hint(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # no BENCH_*.json anywhere
         rc = main(["report"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "no BENCH files given" in out
         assert "BENCH_baseline.json" in out  # how to produce one
+
+    def test_zero_files_discovers_cwd(self, tmp_path, monkeypatch, capsys):
+        """No-args `repro report` renders the root-level BENCH files,
+        ordered by creation stamp (not filename)."""
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "BENCH_a_newest.json"
+        rc = main([*BENCH_FAST, "--filter", "schedule",
+                   "--out", str(path), "--label", "newest"])
+        assert rc == 0
+        # A lexicographically-later file with an *earlier* stamp must
+        # render first.
+        older = json.loads(path.read_text())
+        older["label"] = "older"
+        older["created_unix"] -= 3600.0
+        (tmp_path / "BENCH_z_older.json").write_text(json.dumps(older))
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        capsys.readouterr()
+        rc = main(["report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "discovered 2 BENCH files" in out
+        assert "perf trajectory: older -> newest" in out
 
     def test_single_file_notes_missing_trend(self, tmp_path, capsys):
         path = tmp_path / "BENCH_a.json"

@@ -72,6 +72,36 @@ class TestGenerate:
                          top_k=1, rng=np.random.default_rng(0))
         np.testing.assert_array_equal(greedy, topk1)
 
+    def test_top_k_exact_on_tied_logits(self):
+        """Regression: tied logits at the cutoff must not widen the
+        support past top_k (the old ``scaled >= cutoff`` mask kept every
+        tied candidate)."""
+        from repro.nn.generate import _pick
+
+        logits = np.zeros(12)  # all tied: cutoff == every logit
+        logits[7] = 0.0
+        rng = np.random.default_rng(0)
+        picks = {
+            _pick(logits, 1.0, 3, rng) for _ in range(400)
+        }
+        assert len(picks) == 3, (
+            f"top_k=3 with fully tied logits sampled {len(picks)} distinct "
+            f"tokens: {sorted(picks)}"
+        )
+
+    def test_top_k_partial_tie_keeps_exactly_k(self):
+        """Two clear leaders plus many tied at the cutoff: support is
+        exactly top_k, and always contains the strict leaders."""
+        from repro.nn.generate import _pick
+
+        logits = np.zeros(10)
+        logits[2] = 5.0
+        logits[8] = 4.0
+        rng = np.random.default_rng(3)
+        picks = {_pick(logits, 5.0, 4, rng) for _ in range(600)}
+        assert len(picks) <= 4
+        assert {2, 8} <= picks
+
     def test_validation(self):
         model = GPTModel(CFG, seed=0)
         with pytest.raises(ValueError):

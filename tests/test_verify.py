@@ -272,8 +272,8 @@ class TestRunner:
         report = run_verification(fast=True)
         assert report.ok, report.describe()
         assert {s.name for s in report.sections} == {
-            "schedules", "sanitizer", "conformance", "conservation",
-            "chaos",
+            "schedules", "sanitizer", "conformance", "backend",
+            "conservation", "chaos",
         }
         assert "verification PASSED" in report.describe()
 
