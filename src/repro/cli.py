@@ -32,6 +32,11 @@ Subcommands:
   regression gate ``--compare OLD NEW`` (:mod:`repro.obs.bench`);
 - ``report``    — render the perf trajectory recorded by one or more
   BENCH files as a TTY or ``--html`` dashboard (:mod:`repro.obs.report`);
+- ``serve``     — continuous-batching inference over the paged KV
+  cache: drive a seeded Poisson (or replayed JSON) request trace
+  through :class:`repro.serve.ServeEngine`, print per-request
+  TTFT/latency and aggregate throughput, and optionally gate on the
+  SLO-metrics schema + the ``generate`` oracle (``--smoke``);
 - ``monitor``   — mission control for registered run logs
   (:mod:`repro.obs.runlog`): TTY dashboard with sparklines / per-rank
   health / alert feed, ``--follow`` live tailing, ``--list``/``--gc``
@@ -814,6 +819,114 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import contextlib
+    import json
+
+    import numpy as np
+
+    from repro.config import tiny_test_model
+    from repro.nn.generate import generate
+    from repro.nn.transformer import GPTModel
+    from repro.serve import (
+        PagedKVCache,
+        ServeEngine,
+        load_trace,
+        poisson_trace,
+        save_trace,
+        validate_serve_metrics,
+    )
+
+    config = tiny_test_model()
+    model = GPTModel(config, seed=args.seed)
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        trace = poisson_trace(
+            args.requests, args.rate, vocab_size=config.vocab_size,
+            seed=args.seed, temperature=args.temperature, top_k=args.top_k,
+        )
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+        print(f"wrote {args.save_trace} ({len(trace)} requests)")
+    cache = PagedKVCache.for_model(
+        model, num_blocks=args.blocks, block_size=args.block_size
+    )
+    with contextlib.ExitStack() as stack:
+        logger = None
+        if args.runlog:
+            from repro.obs.runlog import RunRegistry
+
+            registry = RunRegistry(args.runlog)
+            logger, log_fh = registry.create("serve")
+            stack.enter_context(contextlib.closing(log_fh))
+            logger.start(
+                "serve",
+                model={"layers": config.num_layers,
+                       "hidden": config.hidden_size,
+                       "heads": config.num_attention_heads,
+                       "vocab": config.vocab_size,
+                       "seq": config.seq_length},
+                parallel={"p": 1, "t": 1, "d": 1, "B": 1},
+                requests=len(trace),
+            )
+        engine = ServeEngine(model, cache, logger=logger)
+        report = engine.run(trace)
+        if logger is not None:
+            logger.end("completed")
+            print(f"run log: {registry.events_path(logger.run_id)}")
+    cache.assert_empty()
+    metrics = report.to_dict()
+    agg = metrics["aggregate"]
+    print(f"model: {config}")
+    print(f"cache: {args.blocks} blocks x {args.block_size} positions; "
+          f"trace: {len(trace)} requests (rate {args.rate}/step, "
+          f"seed {args.seed})")
+    print()
+    header = (f"{'request':<10} {'prompt':>6} {'gen':>4} {'ttft':>5} "
+              f"{'latency':>8} {'preempt':>8}  reason")
+    print(header)
+    print("-" * len(header))
+    for req in report.requests:
+        print(f"{req.request_id:<10} {req.prompt_tokens:>6} "
+              f"{req.generated_tokens:>4} {str(req.ttft_steps):>5} "
+              f"{req.latency_steps:>8} {req.preemptions:>8}  "
+              f"{req.finish_reason}")
+    print("-" * len(header))
+    print(f"steps={agg['engine_steps']}  "
+          f"generated={agg['total_generated_tokens']} tokens  "
+          f"throughput={agg['tokens_per_s']:.1f} tok/s  "
+          f"ttft p95={agg['ttft_steps_p95']}  "
+          f"latency p95={agg['latency_steps_p95']}  "
+          f"preemptions={agg['preemptions']}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(metrics, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}")
+    failures = [f"metrics schema: {v}" for v in validate_serve_metrics(metrics)]
+    if args.smoke:
+        # Differential gate: every engine stream must equal its
+        # single-request full-recompute oracle, token for token.
+        for req in trace:
+            oracle = generate(
+                model, np.array(req.prompt), req.max_new_tokens,
+                temperature=req.temperature, top_k=req.top_k,
+                rng=np.random.default_rng(req.seed),
+                stop_ids=set(req.stop_ids),
+            )
+            got = engine.outputs.get(req.request_id)
+            if got is None or not np.array_equal(oracle, got):
+                failures.append(
+                    f"{req.request_id}: engine stream != generate oracle"
+                )
+        print(f"smoke: {len(trace)} streams checked against the oracle, "
+              f"{len(failures)} violations")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_verify(args) -> int:
     from repro.verify import parse_case
     from repro.verify.runner import INJECT_MODES, run_verification
@@ -1030,7 +1143,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument(
         "--only", default=None,
         choices=["schedules", "sanitizer", "conformance", "backend",
-                 "conservation", "chaos"],
+                 "conservation", "chaos", "serve"],
         help="run a single verification section",
     )
     p_ver.add_argument(
@@ -1155,6 +1268,48 @@ def build_parser() -> argparse.ArgumentParser:
              "uninterrupted reference run",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="continuous-batching inference on the tiny model: paged KV "
+             "cache, FIFO admission, preemption, SLO metrics",
+    )
+    p_serve.add_argument("--requests", type=int, default=8,
+                         help="requests in the generated Poisson trace")
+    p_serve.add_argument("--rate", type=float, default=0.7,
+                         help="mean arrivals per engine step")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="weights + trace + per-request sampling seed")
+    p_serve.add_argument("--temperature", type=float, default=0.0,
+                         help="sampling temperature (0 = greedy)")
+    p_serve.add_argument("--top-k", type=int, default=None,
+                         help="top-k sampling cutoff")
+    p_serve.add_argument("--blocks", type=int, default=4,
+                         help="KV-cache pool size, blocks (small values "
+                              "force preemption)")
+    p_serve.add_argument("--block-size", type=int, default=3,
+                         help="token positions per cache block")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="replay a saved trace JSON instead of "
+                              "generating one")
+    p_serve.add_argument("--save-trace", default=None, metavar="PATH",
+                         help="write the generated trace JSON (replay it "
+                              "with --trace)")
+    p_serve.add_argument("--metrics-out", dest="metrics_out", default=None,
+                         help="write the per-request TTFT/latency/"
+                              "throughput metrics JSON")
+    p_serve.add_argument(
+        "--runlog", default=None, metavar="DIR",
+        help="register the run under DIR and stream request lifecycle + "
+             "iteration events into it",
+    )
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: validate the SLO-metrics schema and check every "
+             "engine stream against the generate oracle; exit non-zero "
+             "on any violation",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_mon = sub.add_parser(
         "monitor",

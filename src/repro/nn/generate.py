@@ -25,6 +25,7 @@ def generate(
     temperature: float = 1.0,
     top_k: int | None = None,
     rng: np.random.Generator | None = None,
+    stop_ids: set[int] | frozenset[int] | None = None,
 ) -> np.ndarray:
     """Continue ``prompt_ids`` (1-D int array) by ``max_new_tokens``.
 
@@ -32,6 +33,11 @@ def generate(
     divided by the temperature and sampled (restricted to the ``top_k``
     most likely tokens when given).  The context window slides so inputs
     never exceed the model's ``seq_length``.
+
+    ``stop_ids`` ends generation early: the first *generated* token that
+    is in the set is kept in the output and decoding stops.  Prompt
+    tokens never trigger a stop, and ``max_new_tokens=0`` returns the
+    prompt unchanged regardless of ``stop_ids``.
     """
     prompt_ids = np.asarray(prompt_ids)
     if prompt_ids.ndim != 1 or prompt_ids.size == 0:
@@ -45,6 +51,9 @@ def generate(
     vocab = model.config.vocab_size
     if prompt_ids.min() < 0 or prompt_ids.max() >= vocab:
         raise ValueError("prompt token out of range")
+    stop_ids = frozenset(int(t) for t in stop_ids) if stop_ids else frozenset()
+    if any(t < 0 or t >= vocab for t in stop_ids):
+        raise ValueError("stop token out of range")
     rng = rng or np.random.default_rng(0)
     window = model.config.seq_length
     out = list(prompt_ids)
@@ -52,7 +61,10 @@ def generate(
         context = np.array(out[-window:])[None, :]
         logits, _ = model.forward(context, training=False)
         step = logits[0, -1]
-        out.append(_pick(step, temperature, top_k, rng))
+        token = _pick(step, temperature, top_k, rng)
+        out.append(token)
+        if token in stop_ids:
+            break
     return np.array(out, dtype=np.int64)
 
 

@@ -89,6 +89,46 @@ class CausalSelfAttention(Module):
         cache = (qkv_cache, q, k, v, probs_cache, drop_mask, dropped, proj_cache, (b, s))
         return out, cache
 
+    def forward_step(self, x, past_kv=None):
+        """Inference-only incremental forward over cached keys/values.
+
+        ``x`` holds the ``s_new`` *newest* tokens' hidden states
+        (b, s_new, h); ``past_kv`` is ``(k, v)`` for the ``s_past``
+        tokens already decoded, each (b, a, s_past, dk), or ``None`` at
+        prefill.  Attention runs from the new queries over past + new
+        positions with the matching rows of the causal mask, so a
+        prefill (``past_kv=None``, ``s_new == s_total``) computes
+        exactly what :meth:`forward` computes in inference mode.
+        Returns ``(out, (k_new, v_new))`` — only the *new* tokens'
+        keys/values, for the caller's cache to absorb.
+        """
+        b, s_new, h = x.shape
+        a, dk = self.num_heads, self.head_dim
+        qkv, _ = self.qkv.forward(x)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        q = q.reshape(b, s_new, a, dk).transpose(0, 2, 1, 3)
+        k = k.reshape(b, s_new, a, dk).transpose(0, 2, 1, 3)
+        v = v.reshape(b, s_new, a, dk).transpose(0, 2, 1, 3)
+        if past_kv is not None:
+            past_k, past_v = past_kv
+            k_all = np.concatenate([past_k, k], axis=2)
+            v_all = np.concatenate([past_v, v], axis=2)
+        else:
+            k_all, v_all = k, v
+        s_total = k_all.shape[2]
+        scores = q @ k_all.transpose(0, 1, 3, 2) / np.sqrt(dk)
+        # The last s_new rows of the full causal mask: new position i
+        # (global index s_total - s_new + i) sees everything up to and
+        # including itself.  Adding the zero entries keeps the prefill
+        # arithmetic identical to forward()'s ``scores + mask``.
+        scores = scores + F.causal_mask(s_total)[s_total - s_new:]
+        probs, _ = F.softmax_forward(scores)
+        ctx = probs @ v_all  # (b, a, s_new, dk)
+        record_gemm_flops("attention", 2 * matmul_flops(b, a, s_new, dk, s_total))
+        merged = ctx.transpose(0, 2, 1, 3).reshape(b, s_new, h)
+        out, _ = self.proj.forward(merged)
+        return out, (k, v)
+
     def backward(self, dy, cache):
         qkv_cache, q, k, v, probs_cache, drop_mask, dropped, proj_cache, (b, s) = cache
         a, dk, h = self.num_heads, self.head_dim, self.hidden_size
@@ -185,6 +225,19 @@ class TransformerBlock(Module):
         y = x1 + g
         return y, (c_ln1, c_attn, m1, c_ln2, c_mlp, m2)
 
+    def forward_step(self, x, past_kv=None):
+        """Inference-only incremental forward (see CausalSelfAttention).
+
+        Dropout is a no-op in inference mode, so it is skipped outright;
+        the arithmetic matches :meth:`forward` with ``training=False``.
+        """
+        a, _ = self.ln1.forward(x)
+        b, kv = self.attn.forward_step(a, past_kv)
+        x1 = x + b
+        e, _ = self.ln2.forward(x1)
+        f, _ = self.mlp.forward(e)
+        return x1 + f, kv
+
     def backward(self, dy, cache):
         c_ln1, c_attn, m1, c_ln2, c_mlp, m2 = cache
         dg = self.drop2.backward(dy, m2)
@@ -226,6 +279,24 @@ class EmbeddingStage(Module):
         x = tok + pos  # pos broadcasts over batch
         y, mask = self.drop.forward(x, training=training, rng=rng)
         return y, (c_tok, c_pos, mask, b)
+
+    def forward_step(self, token_ids, start: int = 0):
+        """Inference-only embedding of tokens at positions ``start..``.
+
+        ``token_ids`` is (b, s_new); the learned position embeddings are
+        taken from ``arange(start, start + s_new)`` so cached decode can
+        embed only the newest tokens.  ``start=0`` with the full context
+        matches :meth:`forward` in inference mode exactly.
+        """
+        token_ids = np.asarray(token_ids)
+        b, s = token_ids.shape
+        if start + s > self.max_seq_length:
+            raise ValueError(
+                f"positions up to {start + s} exceed max {self.max_seq_length}"
+            )
+        tok, _ = self.wte.forward(token_ids)
+        pos, _ = self.wpe.forward(np.arange(start, start + s))
+        return tok + pos
 
     def backward(self, dy, cache):
         c_tok, c_pos, mask, b = cache
@@ -311,6 +382,33 @@ class GPTModel(Module):
             x, c = layer.forward(x, training=training, rng=rng)
             caches.append(c)
         return x, caches
+
+    def forward_step(self, token_ids, past_kvs=None, *, start: int = 0):
+        """Inference-only incremental forward with cached keys/values.
+
+        ``token_ids`` is (b, s_new) holding only the *new* tokens;
+        ``past_kvs`` is a per-block list of ``(k, v)`` tensors (each
+        (b, a, s_past, dk)) from earlier steps, or ``None`` at prefill;
+        ``start`` is the absolute position of the first new token.
+        Returns ``(logits, new_kvs)`` where ``logits`` is
+        (b, s_new, V) and ``new_kvs`` lists each block's keys/values for
+        the new tokens only.  A prefill call (``past_kvs=None``,
+        ``start=0``) is bit-identical to
+        ``forward(token_ids, training=False)``.
+        """
+        if past_kvs is None:
+            past_kvs = [None] * len(self.blocks)
+        if len(past_kvs) != len(self.blocks):
+            raise ValueError(
+                f"expected {len(self.blocks)} past_kvs, got {len(past_kvs)}"
+            )
+        x = self.embedding.forward_step(token_ids, start=start)
+        new_kvs = []
+        for block, past in zip(self.blocks, past_kvs):
+            x, kv = block.forward_step(x, past)
+            new_kvs.append(kv)
+        logits, _ = self.head.forward(x)
+        return logits, new_kvs
 
     def backward(self, dlogits, caches):
         dy = dlogits

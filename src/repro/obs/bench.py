@@ -562,6 +562,85 @@ def _bench_export():
     return run
 
 
+# -- serving ---------------------------------------------------------------
+#
+# A sequence long enough (64 tokens) that the paged KV cache's O(n) step
+# visibly beats the oracle's O(n^2) full recompute; both scenarios share
+# the workload so ``tokens_per_s`` is directly comparable.
+
+_SERVE_NEW_TOKENS = 48
+
+
+def _serve_decode_workload():
+    from repro.config import tiny_test_model
+    from repro.nn.transformer import GPTModel
+
+    config = tiny_test_model(num_layers=2, hidden_size=32,
+                             num_attention_heads=4, vocab_size=128,
+                             seq_length=64)
+    model = GPTModel(config, seed=0)
+    prompt = np.random.default_rng(1).integers(0, config.vocab_size, size=8)
+    return model, prompt
+
+
+def _decode_derive(seconds: float) -> dict[str, float]:
+    return {"tokens_per_s": _SERVE_NEW_TOKENS / seconds}
+
+
+@register("serve.decode.cached", kind="macro", derive=_decode_derive)
+def _bench_serve_cached():
+    from repro.serve import cached_generate
+
+    model, prompt = _serve_decode_workload()
+
+    def run():
+        cached_generate(model, prompt, _SERVE_NEW_TOKENS,
+                        temperature=0.0, block_size=8)
+
+    return run
+
+
+@register("serve.decode.recompute", kind="macro", derive=_decode_derive)
+def _bench_serve_recompute():
+    from repro.nn.generate import generate
+
+    model, prompt = _serve_decode_workload()
+
+    def run():
+        generate(model, prompt, _SERVE_NEW_TOKENS, temperature=0.0)
+
+    return run
+
+
+def _serve_engine_derive(seconds: float) -> dict[str, float]:
+    from repro.serve import poisson_trace
+
+    trace = poisson_trace(8, 0.7, vocab_size=64, seed=2,
+                          temperature=1.0, top_k=5)
+    total = sum(r.max_new_tokens for r in trace)
+    return {"tokens_per_s": total / seconds}
+
+
+@register("serve.engine.poisson8", kind="macro",
+          derive=_serve_engine_derive)
+def _bench_serve_engine():
+    from repro.config import tiny_test_model
+    from repro.nn.transformer import GPTModel
+    from repro.serve import PagedKVCache, ServeEngine, poisson_trace
+
+    config = tiny_test_model()
+    model = GPTModel(config, seed=0)
+    trace = poisson_trace(8, 0.7, vocab_size=config.vocab_size, seed=2,
+                          temperature=1.0, top_k=5)
+
+    def run():
+        cache = PagedKVCache.for_model(model, num_blocks=4, block_size=3)
+        ServeEngine(model, cache).run(trace)
+        cache.assert_empty()
+
+    return run
+
+
 # ---------------------------------------------------------------------------
 # suite discovery
 # ---------------------------------------------------------------------------

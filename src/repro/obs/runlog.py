@@ -26,6 +26,9 @@ is that substrate for the reproduction:
   ``alert``        an anomaly detector fired (written by live monitors)
   ``ack``          a human/CI acknowledged alerts from one detector
   ``run-end``      final status
+  ``request``      one serving-request lifecycle transition (arrive /
+                   admit / first-token / preempt / resume / finish),
+                   written by the ``repro.serve`` engine
   ===============  ========================================================
 
   Every event carries the schema version ``v``, a monotone sequence
@@ -66,7 +69,7 @@ _LATEST = "LATEST"
 
 EVENT_TYPES = (
     "run-start", "iteration", "heartbeat", "checkpoint", "fault",
-    "recovery", "alert", "ack", "run-end",
+    "recovery", "alert", "ack", "run-end", "request",
 )
 
 
@@ -199,6 +202,17 @@ class RunLogger:
     def recovery(self, kind: str, iteration: int, detail: str = "") -> dict:
         return self.emit(
             "recovery", kind=kind, iteration=iteration, detail=detail
+        )
+
+    def request(self, phase: str, request_id: str, step: float,
+                **detail) -> dict:
+        """One serving-request lifecycle transition (written by
+        :class:`repro.serve.engine.ServeEngine`): ``phase`` is one of
+        arrive/admit/first-token/preempt/resume/finish/reject, ``step``
+        the engine's (virtual) clock at the transition."""
+        return self.emit(
+            "request", phase=phase, request_id=request_id,
+            step=float(step), **detail,
         )
 
     def ack(self, detector: str, note: str = "") -> dict:

@@ -1,0 +1,190 @@
+"""Incremental decode sessions over the paged KV cache.
+
+A :class:`DecodeSession` owns one request's decoding state: the token
+history, the sampling configuration with a *per-request* random
+generator, and a :class:`~repro.serve.kv_cache.KVHandle` into the shared
+pool.  One :meth:`step` produces one token via
+:meth:`repro.nn.transformer.GPTModel.forward_step`, reusing cached
+keys/values, and samples with the same :func:`repro.nn.generate._pick`
+the full-recompute oracle uses -- so a session's token stream equals
+``generate(model, prompt, n, rng=default_rng(seed))`` exactly,
+independent of how the engine interleaves or preempts it.
+
+Sliding-window handling: the model uses *learned absolute* position
+embeddings, so once the context reaches ``seq_length`` the window slides
+and every position's embedding changes each step.  Cached K/V is then
+invalid by construction; the session releases its blocks and recomputes
+the shifted window per step -- exactly the oracle's computation (and
+therefore bit-identical to it on that segment).
+
+Preemption is recompute-style (the vLLM default): ``preempt()`` releases
+all blocks; the next ``step`` re-prefills prompt + generated-so-far.
+The per-request rng is untouched, so the resumed stream is the one an
+uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.generate import _pick
+from repro.nn.transformer import GPTModel
+
+from .kv_cache import PagedKVCache
+
+
+class DecodeSession:
+    """One request's incremental decode over a shared paged cache."""
+
+    def __init__(
+        self,
+        model: GPTModel,
+        cache: PagedKVCache,
+        prompt_ids,
+        max_new_tokens: int,
+        *,
+        temperature: float = 1.0,
+        top_k: int | None = None,
+        rng: np.random.Generator | None = None,
+        stop_ids=None,
+    ):
+        prompt_ids = np.asarray(prompt_ids)
+        if prompt_ids.ndim != 1 or prompt_ids.size == 0:
+            raise ValueError("prompt_ids must be a non-empty 1-D array")
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+        if temperature < 0:
+            raise ValueError("temperature must be >= 0")
+        if top_k is not None and top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        vocab = model.config.vocab_size
+        if prompt_ids.min() < 0 or prompt_ids.max() >= vocab:
+            raise ValueError("prompt token out of range")
+        self.stop_ids = frozenset(int(t) for t in stop_ids) if stop_ids else frozenset()
+        if any(t < 0 or t >= vocab for t in self.stop_ids):
+            raise ValueError("stop token out of range")
+        self.model = model
+        self.cache = cache
+        self.window = model.config.seq_length
+        self.tokens: list[int] = [int(t) for t in prompt_ids]
+        self.prompt_len = len(self.tokens)
+        self.max_new_tokens = max_new_tokens
+        self.temperature = temperature
+        self.top_k = top_k
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.generated = 0
+        self.preemptions = 0
+        self.finish_reason: str | None = (
+            "length" if max_new_tokens == 0 else None
+        )
+        self.handle = None
+        self._cached = 0
+
+    # -- state --------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.finish_reason is not None
+
+    @property
+    def live_blocks(self) -> int:
+        return self.handle.live_blocks if self.handle is not None else 0
+
+    def blocks_for_next_step(self) -> int:
+        """Blocks the shared pool must still provide for the next step
+        (0 on the sliding-window recompute path)."""
+        n = len(self.tokens)
+        if n > self.window:
+            return 0
+        return self.cache.blocks_for(n) - self.live_blocks
+
+    # -- decoding -----------------------------------------------------------
+    def step(self) -> int:
+        """Generate one token; returns it.  Raises if already done."""
+        if self.done:
+            raise RuntimeError("session already finished")
+        n = len(self.tokens)
+        if n > self.window:
+            # Sliding window: absolute positions shift every step, so
+            # cached K/V can never be reused -- release and recompute
+            # the shifted window (the oracle's exact computation).
+            self._drop_cache()
+            context = np.array(self.tokens[-self.window:])[None, :]
+            logits, _ = self.model.forward_step(context)
+        else:
+            if self.handle is None:
+                self.handle = self.cache.create()
+            new = np.array(self.tokens[self._cached:])[None, :]
+            past = self.cache.gather(self.handle) if self._cached else None
+            logits, new_kvs = self.model.forward_step(
+                new, past, start=self._cached
+            )
+            self.cache.append(self.handle, new_kvs)
+            self._cached = n
+        token = _pick(logits[0, -1], self.temperature, self.top_k, self.rng)
+        self.tokens.append(token)
+        self.generated += 1
+        if token in self.stop_ids:
+            self.finish_reason = "stop"
+        elif self.generated >= self.max_new_tokens:
+            self.finish_reason = "length"
+        return token
+
+    # -- lifecycle ----------------------------------------------------------
+    def preempt(self) -> None:
+        """Release every block; the next step re-prefills prompt +
+        generated tokens (recompute-style resume).  The rng is
+        untouched, so the resumed stream continues exactly."""
+        self._drop_cache()
+        self.preemptions += 1
+
+    def release(self) -> None:
+        """Return all blocks to the pool (request finished)."""
+        self._drop_cache()
+
+    def _drop_cache(self) -> None:
+        if self.handle is not None:
+            self.cache.free(self.handle)
+            self.handle = None
+        self._cached = 0
+
+    def output(self) -> np.ndarray:
+        return np.array(self.tokens, dtype=np.int64)
+
+
+def cached_generate(
+    model: GPTModel,
+    prompt_ids,
+    max_new_tokens: int,
+    *,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    rng: np.random.Generator | None = None,
+    stop_ids=None,
+    cache: PagedKVCache | None = None,
+    block_size: int = 4,
+) -> np.ndarray:
+    """Drop-in, KV-cached counterpart of :func:`repro.nn.generate.generate`.
+
+    Runs a single :class:`DecodeSession` to completion (allocating a
+    right-sized private pool when ``cache`` is not given) and returns
+    the same token stream as the full-recompute oracle.
+    """
+    own = cache is None
+    if own:
+        prompt_len = int(np.asarray(prompt_ids).size)
+        peak = min(model.config.seq_length, prompt_len + max_new_tokens)
+        cache = PagedKVCache.for_model(
+            model,
+            num_blocks=max(1, -(-peak // block_size)),
+            block_size=block_size,
+        )
+    session = DecodeSession(
+        model, cache, prompt_ids, max_new_tokens,
+        temperature=temperature, top_k=top_k, rng=rng, stop_ids=stop_ids,
+    )
+    while not session.done:
+        session.step()
+    session.release()
+    if own:
+        cache.assert_empty()
+    return session.output()

@@ -1,0 +1,280 @@
+"""Continuous-batching serve engine: FIFO admission, capacity-aware
+preemption, one token per running request per step.
+
+The scheduling loop is Orca/vLLM-style *iteration-level* batching: the
+engine advances on a deterministic virtual clock (one unit per
+:meth:`ServeEngine.tick`), and at every tick
+
+1. **admits** from the strict FIFO head of the waiting queue -- a
+   request behind a head that does not fit never jumps it (no
+   starvation by overtaking);
+2. **decodes** one token for every running request, oldest first.  A
+   request whose next step needs blocks the pool cannot provide
+   triggers preemption of the *youngest-admitted* block-holding request
+   that is younger than itself (recompute-style: blocks released, the
+   victim re-queues by arrival order and re-prefills on resume).  The
+   oldest request is therefore never preempted and always progresses.
+
+Determinism: requests sample from their own seeded generators
+(:class:`repro.serve.decode.DecodeSession`), preemption recomputes
+rather than checkpoints, and admission order is a pure function of the
+trace -- so replaying a trace reproduces token streams, preemption
+pattern and virtual-clock metrics bit-exactly.
+
+Every lifecycle transition is emitted as a ``request`` run-log event and
+each tick as an ``iteration`` event (token counts included), which is
+what the token-conservation invariant test audits.
+
+Capacity safety: ``submit`` rejects any request whose *peak* block need
+exceeds the whole pool -- every admitted request can always finish.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.transformer import GPTModel
+from repro.obs.runlog import RunLogger
+
+from .decode import DecodeSession
+from .kv_cache import PagedKVCache
+from .metrics import RequestMetrics, ServeReport
+from .traffic import TraceRequest
+
+
+@dataclass
+class _Entry:
+    """Engine-internal state of one submitted request."""
+
+    trace: TraceRequest
+    arrival_seq: int
+    session: DecodeSession
+    admit_step: int | None = None
+    first_token_step: int | None = None
+    admissions: int = 0
+
+
+class ServeEngine:
+    """Continuous batching over one model and one shared paged cache."""
+
+    def __init__(
+        self,
+        model: GPTModel,
+        cache: PagedKVCache,
+        *,
+        logger: RunLogger | None = None,
+    ):
+        if cache.num_layers != len(model.blocks):
+            raise ValueError(
+                f"cache has {cache.num_layers} layers, model has "
+                f"{len(model.blocks)}"
+            )
+        self.model = model
+        self.cache = cache
+        self.logger = logger
+        self.step_count = 0  # the virtual clock
+        self.waiting: list[_Entry] = []  # sorted by arrival_seq
+        self.running: list[_Entry] = []  # admission order
+        self.finished: list[RequestMetrics] = []
+        self.outputs: dict[str, np.ndarray] = {}  # request_id -> tokens
+        self._next_seq = 0
+
+    # -- submission ---------------------------------------------------------
+    def peak_blocks(self, req: TraceRequest) -> int:
+        """Upper bound on blocks the request ever holds at once."""
+        window = self.model.config.seq_length
+        if len(req.prompt) > window:
+            return 0  # sliding-window recompute path: never cached
+        return self.cache.blocks_for(
+            min(window, len(req.prompt) + req.max_new_tokens)
+        )
+
+    def submit(self, req: TraceRequest) -> None:
+        """Queue a request (validated now; admitted FIFO later)."""
+        session = DecodeSession(
+            self.model, self.cache, np.array(req.prompt), req.max_new_tokens,
+            temperature=req.temperature, top_k=req.top_k,
+            rng=np.random.default_rng(req.seed), stop_ids=req.stop_ids,
+        )
+        peak = self.peak_blocks(req)
+        if peak > self.cache.capacity:
+            raise ValueError(
+                f"request {req.request_id!r} needs {peak} blocks at peak; "
+                f"cache capacity is {self.cache.capacity}"
+            )
+        entry = _Entry(trace=req, arrival_seq=self._next_seq, session=session)
+        self._next_seq += 1
+        self.waiting.append(entry)
+        self._emit(
+            "arrive", entry,
+            prompt_tokens=len(req.prompt),
+            max_new_tokens=req.max_new_tokens,
+        )
+
+    # -- the scheduling loop ------------------------------------------------
+    def tick(self) -> int:
+        """One engine step; returns tokens generated this step."""
+        step = self.step_count
+        t0 = time.perf_counter()
+        # 1. strict head-of-line FIFO admission.
+        while self.waiting:
+            head = self.waiting[0]
+            if head.session.blocks_for_next_step() > self.cache.free_blocks:
+                break
+            self.waiting.pop(0)
+            self.running.append(head)
+            head.admissions += 1
+            if head.admit_step is None:
+                head.admit_step = step
+                self._emit("admit", head)
+            else:
+                self._emit("resume", head,
+                           generated=head.session.generated)
+        # 2. one decode step per running request, oldest-admitted first.
+        tokens = 0
+        for entry in list(self.running):
+            if entry not in self.running:
+                continue  # preempted by an earlier request this tick
+            session = entry.session
+            if not session.done:
+                skip = False
+                while (session.blocks_for_next_step()
+                       > self.cache.free_blocks):
+                    victim = self._pick_victim(entry)
+                    if victim is None:
+                        # No younger block-holder: requeue this request
+                        # itself (it is never the oldest -- the oldest's
+                        # peak fits by submit-time validation).
+                        self._preempt(entry, step)
+                        skip = True
+                        break
+                    self._preempt(victim, step)
+                if skip:
+                    continue
+                session.step()
+                tokens += 1
+                if entry.first_token_step is None:
+                    entry.first_token_step = step
+                    self._emit("first-token", entry)
+            if session.done:
+                self._finish(entry, step)
+        if self.logger is not None:
+            self.logger.iteration(
+                iteration=step, loss=None,
+                seconds=time.perf_counter() - t0,
+                tokens=tokens, running=len(self.running),
+                waiting=len(self.waiting),
+            )
+        self.step_count += 1
+        return tokens
+
+    def _pick_victim(self, requester: _Entry) -> _Entry | None:
+        """Youngest-admitted running request that holds blocks and is
+        younger than ``requester`` (never preempt an older request)."""
+        candidates = [
+            e for e in self.running
+            if e is not requester
+            and e.arrival_seq > requester.arrival_seq
+            and e.session.live_blocks > 0
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda e: e.arrival_seq)
+
+    def _preempt(self, entry: _Entry, step: int) -> None:
+        released = entry.session.live_blocks
+        entry.session.preempt()
+        self.running.remove(entry)
+        # Re-queue in arrival order.  Anything already waiting arrived
+        # later than any admitted request (strict FIFO admission), but
+        # two same-tick preemptions can land out of order -- insert by
+        # arrival_seq to keep the queue sorted.
+        idx = len(self.waiting)
+        for i, other in enumerate(self.waiting):
+            if other.arrival_seq > entry.arrival_seq:
+                idx = i
+                break
+        self.waiting.insert(idx, entry)
+        self._emit(
+            "preempt", entry,
+            generated=entry.session.generated,
+            blocks_released=released,
+        )
+
+    def _finish(self, entry: _Entry, step: int) -> None:
+        session = entry.session
+        session.release()
+        self.running.remove(entry)
+        metrics = RequestMetrics(
+            request_id=entry.trace.request_id,
+            prompt_tokens=session.prompt_len,
+            generated_tokens=session.generated,
+            arrival_step=entry.trace.arrival_step,
+            admit_step=entry.admit_step if entry.admit_step is not None
+            else step,
+            first_token_step=entry.first_token_step,
+            finish_step=step,
+            preemptions=session.preemptions,
+            finish_reason=session.finish_reason or "length",
+        )
+        self.finished.append(metrics)
+        self.outputs[entry.trace.request_id] = session.output()
+        self._emit(
+            "finish", entry,
+            generated=session.generated,
+            reason=metrics.finish_reason,
+            preemptions=session.preemptions,
+        )
+
+    def _emit(self, phase: str, entry: _Entry, **detail) -> None:
+        if self.logger is not None:
+            self.logger.request(
+                phase, entry.trace.request_id, self.step_count, **detail
+            )
+
+    # -- trace driver -------------------------------------------------------
+    def run(
+        self,
+        trace: list[TraceRequest],
+        *,
+        max_steps: int | None = None,
+    ) -> ServeReport:
+        """Drive a whole trace to completion; returns the report.
+
+        Arrivals are honored on the virtual clock; when the engine is
+        idle it fast-forwards to the next arrival.  ``max_steps`` is a
+        livelock guard (defaults to a generous bound derived from the
+        trace).
+        """
+        pending = sorted(trace, key=lambda r: (r.arrival_step, r.request_id))
+        if max_steps is None:
+            work = sum(len(r.prompt) + r.max_new_tokens for r in pending)
+            horizon = max((r.arrival_step for r in pending), default=0)
+            max_steps = horizon + 8 * work + 64
+        t0 = time.perf_counter()
+        i = 0
+        while i < len(pending) or self.waiting or self.running:
+            if not self.waiting and not self.running and i < len(pending):
+                # Idle: jump to the next arrival.
+                self.step_count = max(
+                    self.step_count, pending[i].arrival_step
+                )
+            while i < len(pending) and (
+                pending[i].arrival_step <= self.step_count
+            ):
+                self.submit(pending[i])
+                i += 1
+            self.tick()
+            if self.step_count > max_steps:
+                raise RuntimeError(
+                    f"engine exceeded {max_steps} steps -- scheduler "
+                    "livelock"
+                )
+        return ServeReport(
+            requests=self.finished,
+            steps=self.step_count,
+            wall_seconds=time.perf_counter() - t0,
+        )

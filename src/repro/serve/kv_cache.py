@@ -1,0 +1,233 @@
+"""Paged key/value cache for incremental GPT decode.
+
+vLLM-style block allocation (arXiv 2309.06180, the natural serving
+counterpart of the source paper's training stack): each decoding
+request's keys/values live in fixed-size *blocks* drawn from a shared
+pool, so memory is allocated in O(block_size) granules instead of one
+contiguous max-length slab per request.  The continuous-batching engine
+(:mod:`repro.serve.engine`) admits, preempts and finishes requests by
+allocating and releasing blocks here.
+
+Two layers:
+
+- :class:`BlockAllocator` — bookkeeping only: a free list plus a live
+  set, with double-free detection and an all-or-nothing ``alloc_many``
+  so a failed extension never leaks partial allocations.  Property
+  tests (``tests/test_serve.py``) drive random alloc/free sequences
+  against its invariants: no double-assignment, never above capacity,
+  zero live blocks once every request finished (mirroring the
+  ``/dev/shm`` zero-leak check of the mp backend).
+- :class:`PagedKVCache` — the tensors: per-layer K and V pools of shape
+  ``(L, num_blocks, block_size, a, dk)``.  ``append`` writes the new
+  tokens' keys/values returned by
+  :meth:`repro.nn.transformer.GPTModel.forward_step`; ``gather``
+  reassembles a request's ``past_kvs`` view for the next step.  Values
+  round-trip bit-exactly (plain fancy-indexed copies), which is what
+  keeps cached decode on the oracle's token stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class CacheFull(RuntimeError):
+    """The block pool has no free block for a requested allocation."""
+
+
+class BlockAllocator:
+    """Free-list allocator over ``num_blocks`` equally-sized blocks."""
+
+    def __init__(self, num_blocks: int):
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        self.num_blocks = num_blocks
+        # LIFO free list: block 0 is handed out first (stable, testable).
+        self._free = list(range(num_blocks - 1, -1, -1))
+        self._live: set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        return self.num_blocks
+
+    @property
+    def live(self) -> int:
+        return len(self._live)
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    def alloc(self) -> int:
+        if not self._free:
+            raise CacheFull(
+                f"all {self.num_blocks} cache blocks are live"
+            )
+        block = self._free.pop()
+        self._live.add(block)
+        return block
+
+    def alloc_many(self, n: int) -> list[int]:
+        """Allocate ``n`` blocks atomically: all of them or none.
+
+        A failed extension must leave the caller's block table unchanged
+        so a preempted-and-retried request sees consistent state.
+        """
+        if n < 0:
+            raise ValueError(f"cannot allocate {n} blocks")
+        if n > len(self._free):
+            raise CacheFull(
+                f"need {n} blocks, only {len(self._free)} of "
+                f"{self.num_blocks} free"
+            )
+        return [self.alloc() for _ in range(n)]
+
+    def free(self, block: int) -> None:
+        if block not in self._live:
+            raise ValueError(
+                f"double free (or foreign block): {block} is not live"
+            )
+        self._live.remove(block)
+        self._free.append(block)
+
+    def assert_empty(self) -> None:
+        """Zero live blocks -- the serving analogue of 'no leaked
+        /dev/shm segments'."""
+        if self._live:
+            raise AssertionError(
+                f"leaked cache blocks: {sorted(self._live)}"
+            )
+
+
+@dataclass
+class KVHandle:
+    """One request's slice of the pool: its block table and length."""
+
+    block_table: list[int] = field(default_factory=list)
+    length: int = 0  # cached token positions
+    freed: bool = False
+
+    @property
+    def live_blocks(self) -> int:
+        return len(self.block_table)
+
+
+class PagedKVCache:
+    """Block-pooled K/V storage shared by every request of one model."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_heads: int,
+        head_dim: int,
+        *,
+        num_blocks: int,
+        block_size: int,
+    ):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.num_layers = num_layers
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.block_size = block_size
+        self.allocator = BlockAllocator(num_blocks)
+        shape = (num_layers, num_blocks, block_size, num_heads, head_dim)
+        self.k_pool = np.zeros(shape)
+        self.v_pool = np.zeros(shape)
+
+    @classmethod
+    def for_model(cls, model, *, num_blocks: int, block_size: int):
+        """Pool sized for a :class:`repro.nn.transformer.GPTModel`."""
+        config = model.config
+        return cls(
+            config.num_layers,
+            config.num_attention_heads,
+            config.hidden_size // config.num_attention_heads,
+            num_blocks=num_blocks,
+            block_size=block_size,
+        )
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.allocator.capacity
+
+    @property
+    def free_blocks(self) -> int:
+        return self.allocator.free_blocks
+
+    @property
+    def live_blocks(self) -> int:
+        return self.allocator.live
+
+    def blocks_for(self, num_positions: int) -> int:
+        """Blocks a sequence of ``num_positions`` cached tokens occupies."""
+        return -(-num_positions // self.block_size)
+
+    # -- per-request handles ------------------------------------------------
+    def create(self) -> KVHandle:
+        return KVHandle()
+
+    def _check(self, handle: KVHandle) -> None:
+        if handle.freed:
+            raise ValueError("handle already freed")
+
+    def append(self, handle: KVHandle, new_kvs) -> None:
+        """Write the new tokens' K/V (one ``(k, v)`` pair per layer, each
+        ``(1, a, s_new, dk)`` as ``forward_step`` returns them).
+
+        Needed blocks are allocated atomically *before* any write, so an
+        out-of-capacity append raises :class:`CacheFull` and leaves the
+        handle unchanged.
+        """
+        self._check(handle)
+        if len(new_kvs) != self.num_layers:
+            raise ValueError(
+                f"expected {self.num_layers} layers of K/V, got {len(new_kvs)}"
+            )
+        s_new = new_kvs[0][0].shape[2]
+        want = (1, self.num_heads, s_new, self.head_dim)
+        for k, v in new_kvs:
+            if k.shape != want or v.shape != want:
+                raise ValueError(f"K/V shape {k.shape} != expected {want}")
+        total = handle.length + s_new
+        extra = self.blocks_for(total) - len(handle.block_table)
+        if extra > 0:
+            handle.block_table.extend(self.allocator.alloc_many(extra))
+        pos = np.arange(handle.length, total)
+        table = np.asarray(handle.block_table)
+        blocks = table[pos // self.block_size]
+        offs = pos % self.block_size
+        for layer, (k, v) in enumerate(new_kvs):
+            # (1, a, s_new, dk) -> (s_new, a, dk) slots.
+            self.k_pool[layer, blocks, offs] = k[0].transpose(1, 0, 2)
+            self.v_pool[layer, blocks, offs] = v[0].transpose(1, 0, 2)
+        handle.length = total
+
+    def gather(self, handle: KVHandle):
+        """Reassemble ``past_kvs`` (per-layer ``(k, v)``, each
+        ``(1, a, length, dk)``) for :meth:`GPTModel.forward_step`."""
+        self._check(handle)
+        pos = np.arange(handle.length)
+        table = np.asarray(handle.block_table)
+        blocks = table[pos // self.block_size]
+        offs = pos % self.block_size
+        out = []
+        for layer in range(self.num_layers):
+            k = self.k_pool[layer, blocks, offs].transpose(1, 0, 2)[None]
+            v = self.v_pool[layer, blocks, offs].transpose(1, 0, 2)[None]
+            out.append((k, v))
+        return out
+
+    def free(self, handle: KVHandle) -> None:
+        self._check(handle)
+        for block in handle.block_table:
+            self.allocator.free(block)
+        handle.block_table = []
+        handle.length = 0
+        handle.freed = True
+
+    def assert_empty(self) -> None:
+        self.allocator.assert_empty()

@@ -1,0 +1,201 @@
+"""Per-request SLO metrics and the serve report schema.
+
+Latency is measured on the engine's deterministic *virtual clock* (one
+unit per engine step) so TTFT/latency distributions replay bit-exactly;
+wall-clock seconds are kept alongside for real throughput (tokens/s).
+:func:`validate_serve_metrics` is the schema gate ``repro serve
+--smoke`` exits non-zero on -- the serving analogue of the run-log
+schema version check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SERVE_METRICS_SCHEMA_VERSION = 1
+
+FINISH_REASONS = ("length", "stop")
+
+
+@dataclass
+class RequestMetrics:
+    """One finished request's lifecycle, in virtual-clock steps."""
+
+    request_id: str
+    prompt_tokens: int
+    generated_tokens: int
+    arrival_step: int
+    admit_step: int
+    first_token_step: int | None
+    finish_step: int
+    preemptions: int
+    finish_reason: str
+
+    @property
+    def ttft_steps(self) -> int | None:
+        """Arrival -> first generated token (None for max_new=0)."""
+        if self.first_token_step is None:
+            return None
+        return self.first_token_step - self.arrival_step
+
+    @property
+    def latency_steps(self) -> int:
+        return self.finish_step - self.arrival_step
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "prompt_tokens": self.prompt_tokens,
+            "generated_tokens": self.generated_tokens,
+            "arrival_step": self.arrival_step,
+            "admit_step": self.admit_step,
+            "first_token_step": self.first_token_step,
+            "finish_step": self.finish_step,
+            "preemptions": self.preemptions,
+            "finish_reason": self.finish_reason,
+            "ttft_steps": self.ttft_steps,
+            "latency_steps": self.latency_steps,
+        }
+
+
+@dataclass
+class ServeReport:
+    """All finished requests of one engine run + wall-clock totals."""
+
+    requests: list[RequestMetrics]
+    steps: int
+    wall_seconds: float
+
+    @property
+    def total_generated(self) -> int:
+        return sum(r.generated_tokens for r in self.requests)
+
+    @property
+    def tokens_per_s(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_generated / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        ttfts = [r.ttft_steps for r in self.requests
+                 if r.ttft_steps is not None]
+        lats = [r.latency_steps for r in self.requests]
+        return {
+            "schema_version": SERVE_METRICS_SCHEMA_VERSION,
+            "aggregate": {
+                "num_requests": len(self.requests),
+                "total_generated_tokens": self.total_generated,
+                "engine_steps": self.steps,
+                "wall_seconds": self.wall_seconds,
+                "tokens_per_s": self.tokens_per_s,
+                "ttft_steps_mean": _mean(ttfts),
+                "ttft_steps_p95": _p95(ttfts),
+                "latency_steps_mean": _mean(lats),
+                "latency_steps_p95": _p95(lats),
+                "preemptions": sum(r.preemptions for r in self.requests),
+            },
+            "requests": [r.to_dict() for r in self.requests],
+        }
+
+
+def _mean(xs) -> float | None:
+    return float(np.mean(xs)) if xs else None
+
+
+def _p95(xs) -> float | None:
+    return float(np.percentile(xs, 95)) if xs else None
+
+
+# -- schema validation -------------------------------------------------------
+
+_AGGREGATE_KEYS = (
+    "num_requests", "total_generated_tokens", "engine_steps",
+    "wall_seconds", "tokens_per_s", "ttft_steps_mean", "ttft_steps_p95",
+    "latency_steps_mean", "latency_steps_p95", "preemptions",
+)
+_REQUEST_KEYS = (
+    "request_id", "prompt_tokens", "generated_tokens", "arrival_step",
+    "admit_step", "first_token_step", "finish_step", "preemptions",
+    "finish_reason", "ttft_steps", "latency_steps",
+)
+
+
+def validate_serve_metrics(obj) -> list[str]:
+    """Schema + internal-consistency violations of one metrics dict.
+
+    Returns a (possibly empty) list of human-readable violations;
+    ``repro serve --smoke`` exits non-zero when any are found.
+    """
+    violations: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"metrics must be an object, got {type(obj).__name__}"]
+    if obj.get("schema_version") != SERVE_METRICS_SCHEMA_VERSION:
+        violations.append(
+            f"schema_version {obj.get('schema_version')!r} != "
+            f"{SERVE_METRICS_SCHEMA_VERSION}"
+        )
+    agg = obj.get("aggregate")
+    if not isinstance(agg, dict):
+        violations.append("missing 'aggregate' object")
+        agg = {}
+    for key in _AGGREGATE_KEYS:
+        if key not in agg:
+            violations.append(f"aggregate missing {key!r}")
+    requests = obj.get("requests")
+    if not isinstance(requests, list):
+        violations.append("missing 'requests' list")
+        requests = []
+    if isinstance(agg.get("num_requests"), int) and (
+        agg["num_requests"] != len(requests)
+    ):
+        violations.append(
+            f"aggregate.num_requests {agg['num_requests']} != "
+            f"{len(requests)} request records"
+        )
+    total = 0
+    for i, req in enumerate(requests):
+        where = f"requests[{i}]"
+        if not isinstance(req, dict):
+            violations.append(f"{where}: not an object")
+            continue
+        for key in _REQUEST_KEYS:
+            if key not in req:
+                violations.append(f"{where}: missing {key!r}")
+        rid = req.get("request_id")
+        if not isinstance(rid, str) or not rid:
+            violations.append(f"{where}: request_id must be a non-empty string")
+        if req.get("finish_reason") not in FINISH_REASONS:
+            violations.append(
+                f"{where}: finish_reason {req.get('finish_reason')!r} not in "
+                f"{FINISH_REASONS}"
+            )
+        gen = req.get("generated_tokens")
+        if isinstance(gen, int):
+            total += gen
+            if gen < 0:
+                violations.append(f"{where}: generated_tokens < 0")
+        arrival, admit = req.get("arrival_step"), req.get("admit_step")
+        first, finish = req.get("first_token_step"), req.get("finish_step")
+        if (isinstance(arrival, int) and isinstance(admit, int)
+                and admit < arrival):
+            violations.append(f"{where}: admit_step < arrival_step")
+        if (isinstance(admit, int) and isinstance(first, int)
+                and first < admit):
+            violations.append(f"{where}: first_token_step < admit_step")
+        if (isinstance(admit, int) and isinstance(finish, int)
+                and finish < admit):
+            violations.append(f"{where}: finish_step < admit_step")
+        ttft = req.get("ttft_steps")
+        if isinstance(ttft, int) and ttft < 0:
+            violations.append(f"{where}: negative ttft_steps")
+    if isinstance(agg.get("total_generated_tokens"), int) and (
+        agg["total_generated_tokens"] != total
+    ):
+        violations.append(
+            "aggregate.total_generated_tokens "
+            f"{agg['total_generated_tokens']} != sum of per-request "
+            f"generated_tokens {total} (token conservation)"
+        )
+    return violations

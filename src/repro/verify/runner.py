@@ -1,6 +1,6 @@
 """``python -m repro verify``: run every verification layer, report, exit.
 
-Six sections, each independently reportable:
+Seven sections, each independently reportable:
 
 - ``schedules``     -- static validation of every shipped schedule
   generator across a (p, m, v) grid, plus any user-supplied schedule
@@ -23,6 +23,12 @@ Six sections, each independently reportable:
   interrupted commits must never leave ``LATEST`` at an unverifiable
   checkpoint, and a resharded resume must match the single-rank
   reference at fp64 tolerance.
+- ``serve``         -- serving conformance
+  (:mod:`repro.verify.serve_check`): paged-KV cached decode, the
+  continuous-batching engine (including under forced preemption and on
+  bit-exact trace replay) and tensor-parallel decode must all produce
+  token streams equal to the full-recompute ``generate`` oracle, with
+  zero leaked cache blocks.
 
 Mutation self-test (``--inject``): the verifier is itself verified by
 injecting one of three known defects and demanding it is caught --
@@ -234,6 +240,22 @@ def _run_chaos(fast: bool, seed: int) -> SectionResult:
     return section
 
 
+def _run_serve(fast: bool, seed: int) -> SectionResult:
+    from .serve_check import run_serve_checks
+
+    section = SectionResult("serve")
+    results = run_serve_checks(fast=fast, seed=seed)
+    section.checks = len(results)
+    for name, failures in results:
+        for failure in failures:
+            section.failures.append(f"{name}: {failure}")
+    section.notes.append(
+        "decode conformance vs the generate oracle: "
+        + ", ".join(name for name, _ in results)
+    )
+    return section
+
+
 def _run_injected_reorder(seed: int) -> SectionResult:
     """Mutate a known-good 1F1B schedule (a backward hoisted before its
     forward on rank 0) and demand the static validator flags it."""
@@ -293,7 +315,7 @@ def run_verification(
         )
     if only is not None and only not in (
         "schedules", "sanitizer", "conformance", "backend", "conservation",
-        "chaos",
+        "chaos", "serve",
     ):
         raise ValueError(f"unknown section {only!r}")
     if num_cases is None:
@@ -331,6 +353,8 @@ def run_verification(
             report.sections.append(_run_conservation(fast))
         if only in (None, "chaos"):
             report.sections.append(_run_chaos(fast, seed))
+        if only in (None, "serve"):
+            report.sections.append(_run_serve(fast, seed))
 
     if inject is not None and report.ok:
         # The injected defect was NOT caught: the verifier itself is

@@ -245,8 +245,15 @@ class TestVerify:
         out = capsys.readouterr().out
         assert "verification PASSED" in out
         for section in ("schedules", "sanitizer", "conformance",
-                        "conservation", "chaos"):
+                        "conservation", "chaos", "serve"):
             assert section in out
+
+    def test_only_serve_section(self, capsys):
+        rc = main(["verify", "--fast", "--only", "serve"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cached-decode-oracle-grid" in out
+        assert "[ok] conformance" not in out  # other sections skipped
 
     def test_only_chaos_section(self, capsys):
         rc = main(["verify", "--fast", "--only", "chaos"])
@@ -736,3 +743,66 @@ class TestTraceRunlog:
         events = read_events(registry.events_path(registry.latest()))
         assert manifest_of(events)["source"] == "sim"
         assert any(e["type"] == "iteration" for e in events)
+
+
+class TestServeCLI:
+    SERVE = ["serve", "--requests", "5", "--rate", "0.8", "--seed", "1"]
+
+    def test_smoke_exits_zero_with_metrics(self, tmp_path, capsys):
+        import json as _json
+
+        metrics = tmp_path / "serve.json"
+        rc = main([*self.SERVE, "--smoke", "--metrics-out", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "ttft" in out
+        assert "0 violations" in out
+        from repro.serve import validate_serve_metrics
+
+        report = _json.loads(metrics.read_text())
+        assert validate_serve_metrics(report) == []
+        assert report["aggregate"]["num_requests"] == 5
+
+    def test_trace_replay_reproduces_metrics(self, tmp_path, capsys):
+        import json as _json
+
+        trace = tmp_path / "trace.json"
+        m1, m2 = tmp_path / "a.json", tmp_path / "b.json"
+        rc = main([*self.SERVE, "--save-trace", str(trace),
+                   "--metrics-out", str(m1)])
+        assert rc == 0
+        rc = main(["serve", "--trace", str(trace),
+                   "--metrics-out", str(m2)])
+        assert rc == 0
+        capsys.readouterr()
+
+        def stable(path):
+            report = _json.loads(path.read_text())
+            report["aggregate"].pop("wall_seconds")
+            report["aggregate"].pop("tokens_per_s")
+            return report
+
+        assert stable(m1) == stable(m2)
+
+    def test_runlog_records_request_lifecycle(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        rc = main([*self.SERVE, "--runlog", str(runs)])
+        assert rc == 0
+        assert "run log:" in capsys.readouterr().out
+        from repro.obs.runlog import RunRegistry, manifest_of, read_events
+
+        registry = RunRegistry(str(runs))
+        events = read_events(registry.events_path(registry.latest()))
+        assert manifest_of(events)["source"] == "serve"
+        phases = {e["phase"] for e in events if e["type"] == "request"}
+        assert {"arrive", "admit", "first-token", "finish"} <= phases
+
+    def test_oversized_requests_report_error(self, capsys):
+        rc = main([*self.SERVE, "--blocks", "1", "--block-size", "1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_trace_file_reports_error(self, tmp_path, capsys):
+        rc = main(["serve", "--trace", str(tmp_path / "ghost.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

@@ -54,6 +54,12 @@ class TestExamples:
         out = run_example("language_modeling.py")
         assert "perplexity after training" in out and "continuation" in out
 
+    def test_serving_demo(self):
+        out = run_example("serving_demo.py")
+        assert "streams equal the single-request oracle" in out
+        assert "replay is bit-exact" in out
+        assert "preempt" in out
+
     def test_verification_demo(self):
         out = run_example("verification_demo.py")
         assert "consumes activations" in out          # planted schedule race

@@ -102,6 +102,67 @@ class TestGenerate:
         assert len(picks) <= 4
         assert {2, 8} <= picks
 
+    def test_stop_ids_early_exit(self):
+        """Generation halts right after the first stop token, which is
+        kept in the output."""
+        model = GPTModel(CFG, seed=0)
+        prompt = np.array([1, 2, 3])
+        probe = generate(model, prompt, 6, temperature=0.0)
+        stop = int(probe[len(prompt)])  # the 1st generated token
+        out = generate(model, prompt, 6, temperature=0.0,
+                       stop_ids={stop})
+        assert out.shape == (len(prompt) + 1,)
+        assert out[-1] == stop
+        np.testing.assert_array_equal(out, probe[:len(prompt) + 1])
+
+    def test_stop_ids_ignores_prompt_tokens(self):
+        """A stop token already present in the prompt must not end
+        generation at step zero."""
+        model = GPTModel(CFG, seed=0)
+        prompt = np.array([4, 4])
+        out = generate(model, prompt, 3, temperature=0.0, stop_ids={4})
+        # Either a full run or an early stop on a *generated* 4 -- but
+        # never length-2 (stopping on the prompt itself).
+        assert len(out) > len(prompt)
+
+    def test_stop_ids_never_generated_runs_to_length(self):
+        model = GPTModel(CFG, seed=0)
+        prompt = np.array([1, 2])
+        plain = generate(model, prompt, 5, temperature=0.0)
+        absent = {t for t in range(CFG.vocab_size)} - set(plain.tolist())
+        stopped = generate(model, prompt, 5, temperature=0.0,
+                           stop_ids={min(absent)})
+        np.testing.assert_array_equal(plain, stopped)
+
+    def test_stop_ids_with_sliding_window(self):
+        """Stop detection keeps working after the context has slid past
+        seq_length (the recompute regime)."""
+        model = GPTModel(CFG, seed=0)
+        prompt = np.array([1])
+        probe = generate(model, prompt, CFG.seq_length + 6,
+                         temperature=0.0)
+        # Pick a token first generated only after the window slid.
+        late = int(probe[CFG.seq_length + 2])
+        out = generate(model, prompt, CFG.seq_length + 6,
+                       temperature=0.0, stop_ids={late})
+        assert out[-1] == late
+        assert len(out) <= len(probe)
+        np.testing.assert_array_equal(out, probe[:len(out)])
+
+    def test_stop_ids_zero_budget(self):
+        """max_new_tokens=0 returns the prompt unchanged, stop or not."""
+        model = GPTModel(CFG, seed=0)
+        prompt = np.array([3, 1])
+        out = generate(model, prompt, 0, temperature=0.0, stop_ids={3})
+        np.testing.assert_array_equal(out, prompt)
+
+    def test_stop_ids_out_of_vocab_rejected(self):
+        model = GPTModel(CFG, seed=0)
+        with pytest.raises(ValueError, match="stop token"):
+            generate(model, np.array([1]), 2, stop_ids={CFG.vocab_size})
+        with pytest.raises(ValueError, match="stop token"):
+            generate(model, np.array([1]), 2, stop_ids={-1})
+
     def test_validation(self):
         model = GPTModel(CFG, seed=0)
         with pytest.raises(ValueError):

@@ -1,0 +1,440 @@
+"""Tests for repro.serve: paged KV cache, continuous batching, TP decode.
+
+The contract throughout is *differential*: every fast serving path must
+produce the same token stream as the slow full-recompute
+``repro.nn.generate.generate`` oracle.  Allocator safety is pinned by
+hypothesis property tests; scheduler invariants (token conservation,
+FIFO no-starvation, deterministic replay) are audited through the
+run-log event stream on the engine's virtual clock.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_test_model
+from repro.nn import GPTModel, generate
+from repro.obs.runlog import RunLogger
+from repro.serve import (
+    BlockAllocator,
+    CacheFull,
+    DecodeSession,
+    PagedKVCache,
+    ServeEngine,
+    TraceRequest,
+    cached_generate,
+    load_trace,
+    poisson_trace,
+    save_trace,
+    tp_generate,
+    trace_from_json,
+    trace_to_json,
+    validate_serve_metrics,
+)
+
+CFG = tiny_test_model()  # seq_length=8, vocab 64
+
+
+def model():
+    return GPTModel(CFG, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# block allocator: hypothesis property tests
+# ---------------------------------------------------------------------------
+
+class TestBlockAllocator:
+    @given(
+        capacity=st.integers(1, 16),
+        ops=st.lists(st.integers(0, 3), max_size=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_alloc_free_invariants(self, capacity, ops):
+        """Across any alloc/free interleaving: a block is never handed
+        out twice while live, live count never exceeds capacity, and
+        freeing everything leaves the pool empty."""
+        alloc = BlockAllocator(capacity)
+        held = []
+        for op in ops:
+            if op in (0, 1):  # alloc one
+                try:
+                    b = alloc.alloc()
+                except CacheFull:
+                    assert alloc.free_blocks == 0
+                    continue
+                assert b not in held, "block double-assigned"
+                assert 0 <= b < capacity
+                held.append(b)
+            elif op == 2 and held:  # free one
+                alloc.free(held.pop())
+            elif op == 3:  # alloc a batch
+                n = 2
+                try:
+                    batch = alloc.alloc_many(n)
+                except CacheFull:
+                    assert alloc.free_blocks < n
+                    continue
+                assert len(batch) == n
+                assert not set(batch) & set(held)
+                held.extend(batch)
+            assert alloc.live == len(held)
+            assert alloc.live <= capacity
+            assert alloc.live + alloc.free_blocks == capacity
+        for b in held:
+            alloc.free(b)
+        assert alloc.live == 0
+        alloc.assert_empty()
+
+    def test_alloc_many_is_atomic(self):
+        """A failed batch allocation must not leak partial blocks."""
+        alloc = BlockAllocator(3)
+        kept = alloc.alloc()
+        with pytest.raises(CacheFull):
+            alloc.alloc_many(3)
+        assert alloc.free_blocks == 2  # nothing consumed by the failure
+        alloc.free(kept)
+        alloc.assert_empty()
+
+    def test_double_free_rejected(self):
+        alloc = BlockAllocator(2)
+        b = alloc.alloc()
+        alloc.free(b)
+        with pytest.raises(ValueError):
+            alloc.free(b)
+
+    def test_assert_empty_raises_on_leak(self):
+        alloc = BlockAllocator(2)
+        alloc.alloc()
+        with pytest.raises(AssertionError):
+            alloc.assert_empty()
+
+
+# ---------------------------------------------------------------------------
+# paged KV cache
+# ---------------------------------------------------------------------------
+
+class TestPagedKVCache:
+    def kv(self, rng, n):
+        """Random per-layer (k, v) pairs shaped (1, heads, n, head_dim)."""
+        a = CFG.num_attention_heads
+        dk = CFG.hidden_size // a
+        return [
+            (rng.standard_normal((1, a, n, dk)),
+             rng.standard_normal((1, a, n, dk)))
+            for _ in range(CFG.num_layers)
+        ]
+
+    def test_append_gather_round_trip(self):
+        cache = PagedKVCache.for_model(model(), num_blocks=8, block_size=3)
+        rng = np.random.default_rng(0)
+        handle = cache.create()
+        first, second = self.kv(rng, 4), self.kv(rng, 2)
+        cache.append(handle, first)
+        cache.append(handle, second)
+        got = cache.gather(handle)
+        for layer in range(CFG.num_layers):
+            want_k = np.concatenate(
+                [first[layer][0], second[layer][0]], axis=2)
+            want_v = np.concatenate(
+                [first[layer][1], second[layer][1]], axis=2)
+            np.testing.assert_array_equal(got[layer][0], want_k)
+            np.testing.assert_array_equal(got[layer][1], want_v)
+        cache.free(handle)
+        cache.assert_empty()
+
+    def test_blocks_for(self):
+        cache = PagedKVCache.for_model(model(), num_blocks=4, block_size=3)
+        assert cache.blocks_for(0) == 0
+        assert cache.blocks_for(1) == 1
+        assert cache.blocks_for(3) == 1
+        assert cache.blocks_for(4) == 2
+
+    def test_cache_full_leaves_handle_usable(self):
+        cache = PagedKVCache.for_model(model(), num_blocks=2, block_size=2)
+        rng = np.random.default_rng(1)
+        handle = cache.create()
+        cache.append(handle, self.kv(rng, 4))  # fills both blocks
+        with pytest.raises(CacheFull):
+            cache.append(handle, self.kv(rng, 1))
+        assert handle.length == 4  # failed append did not corrupt state
+        cache.free(handle)
+        cache.assert_empty()
+
+
+# ---------------------------------------------------------------------------
+# cached decode vs the generate oracle
+# ---------------------------------------------------------------------------
+
+class TestCachedDecodeOracle:
+    def test_prefill_logits_bit_identical(self):
+        """The incremental path's prefill is the same GEMM shapes as the
+        full forward, so its logits match bit-for-bit."""
+        m = model()
+        ids = np.array([[3, 1, 4, 1, 5]])
+        full, _ = m.forward(ids, training=False)
+        step, _ = m.forward_step(ids)
+        np.testing.assert_array_equal(full, step)
+
+    @pytest.mark.parametrize("pl,mn,temp,top_k", [
+        (3, 4, 0.0, None),    # greedy inside the window
+        (7, 6, 0.0, None),    # greedy crossing the window boundary
+        (8, 5, 1.0, 4),       # top-k sampling from exactly the window
+        (10, 6, 0.8, None),   # prompt already over the window
+        (1, 3, 0.0, None),    # minimal prompt
+    ])
+    def test_token_stream_equals_oracle(self, pl, mn, temp, top_k):
+        m = model()
+        prompt = np.random.default_rng(pl).integers(
+            0, CFG.vocab_size, size=pl)
+        oracle = generate(m, prompt, mn, temperature=temp, top_k=top_k,
+                          rng=np.random.default_rng(7))
+        cached = cached_generate(m, prompt, mn, temperature=temp,
+                                 top_k=top_k, rng=np.random.default_rng(7),
+                                 block_size=3)
+        np.testing.assert_array_equal(oracle, cached)
+
+    def test_stop_ids_equals_oracle(self):
+        m = model()
+        prompt = np.array([2, 9, 4])
+        probe = generate(m, prompt, 6, temperature=0.0)
+        stop = {int(probe[len(prompt) + 1])}
+        oracle = generate(m, prompt, 6, temperature=0.0, stop_ids=stop)
+        cached = cached_generate(m, prompt, 6, temperature=0.0,
+                                 stop_ids=stop)
+        np.testing.assert_array_equal(oracle, cached)
+        assert len(oracle) < len(prompt) + 6 + 1  # actually stopped early
+
+    def test_no_blocks_leaked(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=6, block_size=2)
+        cached_generate(m, np.array([1, 2, 3]), 5, temperature=0.0,
+                        cache=cache)
+        cache.assert_empty()
+
+    def test_session_preempt_resume_matches_oracle(self):
+        """Preempting mid-decode and resuming (recompute-style) must not
+        change the stream: the rng is untouched by preemption."""
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=8, block_size=2)
+        prompt = np.array([5, 3, 1])
+        oracle = generate(m, prompt, 6, temperature=1.0, top_k=4,
+                          rng=np.random.default_rng(3))
+        sess = DecodeSession(m, cache, prompt, 6, temperature=1.0,
+                             top_k=4, rng=np.random.default_rng(3))
+        steps = 0
+        while not sess.done:
+            sess.step()
+            steps += 1
+            if steps == 2:
+                sess.preempt()
+                assert sess.live_blocks == 0
+        sess.release()
+        np.testing.assert_array_equal(oracle, sess.output())
+        assert sess.preemptions == 1
+        cache.assert_empty()
+
+
+# ---------------------------------------------------------------------------
+# continuous-batching engine: scheduler invariants
+# ---------------------------------------------------------------------------
+
+def run_trace(trace, num_blocks=4, block_size=3, seed=0):
+    """Run a trace on a fresh engine; returns (engine, report, events)."""
+    m = GPTModel(CFG, seed=seed)
+    cache = PagedKVCache.for_model(
+        m, num_blocks=num_blocks, block_size=block_size)
+    buf = io.StringIO()
+    logger = RunLogger(buf, "test-serve", clock=lambda: 0.0)
+    logger.start("serve")
+    engine = ServeEngine(m, cache, logger=logger)
+    report = engine.run(trace)
+    cache.assert_empty()
+    events = []
+    for line in buf.getvalue().splitlines():
+        event = json.loads(line)
+        if event["type"] in ("request", "iteration"):
+            event.pop("t", None)
+            event.pop("seconds", None)  # the only wall-clock fields
+            events.append(event)
+    return engine, report, events
+
+
+def overload_trace(n=6):
+    """Everyone arrives at step 0 on a pool that fits ~one request."""
+    rng = np.random.default_rng(5)
+    return [
+        TraceRequest(
+            request_id=f"req-{i:04d}", arrival_step=0,
+            prompt=tuple(int(t) for t in rng.integers(0, CFG.vocab_size,
+                                                      size=4)),
+            max_new_tokens=4, temperature=0.0, seed=100 + i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestServeEngine:
+    def test_streams_match_oracle_under_preemption(self):
+        trace = poisson_trace(6, 0.7, vocab_size=CFG.vocab_size, seed=2,
+                              temperature=1.0, top_k=5)
+        engine, report, _ = run_trace(trace)
+        assert sum(r.preemptions for r in report.requests) > 0
+        for req in trace:
+            oracle = generate(
+                GPTModel(CFG, seed=0), np.array(req.prompt),
+                req.max_new_tokens, temperature=req.temperature,
+                top_k=req.top_k, rng=np.random.default_rng(req.seed),
+                stop_ids=set(req.stop_ids))
+            np.testing.assert_array_equal(
+                oracle, engine.outputs[req.request_id])
+
+    def test_token_conservation(self):
+        """Tokens counted per tick == tokens reported per request ==
+        the aggregate total: nothing lost or double-counted across
+        admission, preemption and finish."""
+        trace = poisson_trace(6, 0.7, vocab_size=CFG.vocab_size, seed=2,
+                              temperature=1.0, top_k=5)
+        _, report, events = run_trace(trace)
+        per_tick = sum(e["tokens"] for e in events
+                       if e["type"] == "iteration")
+        per_finish = sum(e["generated"] for e in events
+                         if e["type"] == "request"
+                         and e["phase"] == "finish")
+        agg = report.to_dict()["aggregate"]["total_generated_tokens"]
+        assert per_tick == per_finish == agg
+
+    def test_fifo_no_starvation_under_overload(self):
+        """Sustained overload: everyone still finishes, admission is in
+        arrival order, and no request is ever preempted by a younger
+        requester's needs (victims are always younger than survivors)."""
+        trace = overload_trace()
+        engine, report, events = run_trace(trace, num_blocks=4,
+                                           block_size=3)
+        assert len(report.requests) == len(trace)  # nobody starved
+        admits = [e["request_id"] for e in events
+                  if e["type"] == "request" and e["phase"] == "admit"]
+        assert admits == sorted(admits)  # strict FIFO first-admission
+        # The oldest request is never preempted.
+        preempted = {e["request_id"] for e in events
+                     if e["type"] == "request" and e["phase"] == "preempt"}
+        assert "req-0000" not in preempted
+
+    def test_request_joins_mid_decode(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=8, block_size=3)
+        engine = ServeEngine(m, cache)
+        first = TraceRequest(request_id="a", arrival_step=0,
+                             prompt=(1, 2, 3), max_new_tokens=5)
+        engine.submit(first)
+        engine.tick()
+        engine.tick()  # "a" is mid-decode...
+        late = TraceRequest(request_id="b", arrival_step=2,
+                            prompt=(4, 5), max_new_tokens=3)
+        engine.submit(late)  # ...when "b" joins the batch
+        while engine.running or engine.waiting:
+            engine.tick()
+        for req in (first, late):
+            oracle = generate(m, np.array(req.prompt), req.max_new_tokens,
+                              temperature=0.0,
+                              rng=np.random.default_rng(req.seed))
+            np.testing.assert_array_equal(oracle,
+                                          engine.outputs[req.request_id])
+        cache.assert_empty()
+
+    def test_deterministic_replay(self):
+        trace = poisson_trace(6, 0.7, vocab_size=CFG.vocab_size, seed=2,
+                              temperature=1.0, top_k=5)
+        e1, r1, ev1 = run_trace(trace)
+        e2, r2, ev2 = run_trace(trace)
+        for rid, stream in e1.outputs.items():
+            np.testing.assert_array_equal(stream, e2.outputs[rid])
+        assert r1.to_dict()["requests"] == r2.to_dict()["requests"]
+        assert ev1 == ev2
+
+    def test_zero_max_new_tokens(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=4, block_size=3)
+        engine = ServeEngine(m, cache)
+        req = TraceRequest(request_id="z", arrival_step=0,
+                           prompt=(3, 1), max_new_tokens=0)
+        report = engine.run([req])
+        assert report.requests[0].generated_tokens == 0
+        np.testing.assert_array_equal(engine.outputs["z"], [3, 1])
+        cache.assert_empty()
+
+    def test_submit_rejects_oversized_request(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=1, block_size=2)
+        engine = ServeEngine(m, cache)
+        req = TraceRequest(request_id="big", arrival_step=0,
+                           prompt=(1, 2, 3, 4), max_new_tokens=4)
+        with pytest.raises(ValueError, match="blocks at peak"):
+            engine.submit(req)
+
+    def test_metrics_pass_validation(self):
+        trace = poisson_trace(5, 0.8, vocab_size=CFG.vocab_size, seed=3)
+        _, report, _ = run_trace(trace, num_blocks=6)
+        assert validate_serve_metrics(report.to_dict()) == []
+
+    def test_validation_catches_violations(self):
+        trace = poisson_trace(3, 0.8, vocab_size=CFG.vocab_size, seed=3)
+        _, report, _ = run_trace(trace, num_blocks=6)
+        good = report.to_dict()
+        bad = json.loads(json.dumps(good))
+        bad["aggregate"]["total_generated_tokens"] += 1
+        assert validate_serve_metrics(bad)  # token conservation breach
+        bad = json.loads(json.dumps(good))
+        bad["requests"][0]["admit_step"] = -1
+        assert validate_serve_metrics(bad)  # ordering breach
+        bad = json.loads(json.dumps(good))
+        bad["schema_version"] = 99
+        assert validate_serve_metrics(bad)
+
+
+# ---------------------------------------------------------------------------
+# traffic traces
+# ---------------------------------------------------------------------------
+
+class TestTraffic:
+    def test_poisson_trace_deterministic(self):
+        a = poisson_trace(5, 0.5, vocab_size=32, seed=4)
+        b = poisson_trace(5, 0.5, vocab_size=32, seed=4)
+        assert a == b
+        c = poisson_trace(5, 0.5, vocab_size=32, seed=5)
+        assert a != c
+
+    def test_json_round_trip(self, tmp_path):
+        trace = poisson_trace(4, 0.6, vocab_size=32, seed=1,
+                              temperature=0.9, top_k=3)
+        assert trace_from_json(trace_to_json(trace)) == trace
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_arrivals_sorted_and_prompts_in_vocab(self):
+        trace = poisson_trace(10, 2.0, vocab_size=16, seed=0)
+        steps = [r.arrival_step for r in trace]
+        assert steps == sorted(steps)
+        for r in trace:
+            assert all(0 <= t < 16 for t in r.prompt)
+
+
+# ---------------------------------------------------------------------------
+# tensor-parallel decode
+# ---------------------------------------------------------------------------
+
+class TestTensorParallelDecode:
+    @pytest.mark.parametrize("temp,top_k", [(0.0, None), (1.0, 4)])
+    def test_matches_single_rank(self, temp, top_k):
+        m = model()
+        prompt = np.array([3, 1, 4])
+        single = generate(m, prompt, 5, temperature=temp, top_k=top_k,
+                          rng=np.random.default_rng(9))
+        tp = tp_generate(CFG, prompt, 5, world=2, seed=0,
+                         temperature=temp, top_k=top_k,
+                         rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(single, tp)
