@@ -845,12 +845,40 @@ def _cmd_serve(args) -> int:
         trace = poisson_trace(
             args.requests, args.rate, vocab_size=config.vocab_size,
             seed=args.seed, temperature=args.temperature, top_k=args.top_k,
+            deadline_steps=args.deadline, queue_ttl=args.ttl,
         )
     if args.save_trace:
         save_trace(trace, args.save_trace)
         print(f"wrote {args.save_trace} ({len(trace)} requests)")
+    plan = None
+    if args.chaos_plan:
+        from repro.resilience import ServeChaosPlan
+
+        try:
+            with open(args.chaos_plan, "r", encoding="utf-8") as fh:
+                plan = ServeChaosPlan.from_json(fh.read())
+        except (OSError, ValueError) as exc:
+            print(f"error: --chaos-plan: {exc}", file=sys.stderr)
+            return 2
+    elif args.chaos:
+        from repro.resilience import (
+            AllocExhaustion,
+            DecodeCrash,
+            KVCorruption,
+            ServeChaosPlan,
+        )
+
+        # Default storm: one of each fault class, early enough that the
+        # tiny trace is still in flight when they land.
+        plan = ServeChaosPlan(
+            crashes=(DecodeCrash(at_step=1),),
+            corruptions=(KVCorruption(at_step=4),),
+            exhaustions=(AllocExhaustion(at_step=6, steps=3),),
+        )
+    checksums = plan is not None and bool(plan.corruptions)
     cache = PagedKVCache.for_model(
-        model, num_blocks=args.blocks, block_size=args.block_size
+        model, num_blocks=args.blocks, block_size=args.block_size,
+        checksums=checksums,
     )
     with contextlib.ExitStack() as stack:
         logger = None
@@ -870,7 +898,10 @@ def _cmd_serve(args) -> int:
                 parallel={"p": 1, "t": 1, "d": 1, "B": 1},
                 requests=len(trace),
             )
-        engine = ServeEngine(model, cache, logger=logger)
+        engine = ServeEngine(
+            model, cache, logger=logger, chaos=plan,
+            max_queue=args.max_queue, shed_policy=args.shed,
+        )
         report = engine.run(trace)
         if logger is not None:
             logger.end("completed")
@@ -882,23 +913,38 @@ def _cmd_serve(args) -> int:
     print(f"cache: {args.blocks} blocks x {args.block_size} positions; "
           f"trace: {len(trace)} requests (rate {args.rate}/step, "
           f"seed {args.seed})")
+    if plan is not None:
+        print(f"chaos: {len(plan.crashes)} crashes, "
+              f"{len(plan.corruptions)} corruptions, "
+              f"{len(plan.exhaustions)} exhaustion storms"
+              + ("; per-block checksums on" if checksums else ""))
     print()
     header = (f"{'request':<10} {'prompt':>6} {'gen':>4} {'ttft':>5} "
-              f"{'latency':>8} {'preempt':>8}  reason")
+              f"{'latency':>8} {'preempt':>8} {'retry':>6}  outcome")
     print(header)
     print("-" * len(header))
     for req in report.requests:
+        detail = req.outcome
+        if req.outcome == "completed" and req.finish_reason:
+            detail = f"completed ({req.finish_reason})"
         print(f"{req.request_id:<10} {req.prompt_tokens:>6} "
               f"{req.generated_tokens:>4} {str(req.ttft_steps):>5} "
-              f"{req.latency_steps:>8} {req.preemptions:>8}  "
-              f"{req.finish_reason}")
+              f"{str(req.latency_steps):>8} {req.preemptions:>8} "
+              f"{req.retries:>6}  {detail}")
     print("-" * len(header))
+    outcomes = agg["outcomes"]
+    outcome_line = "  ".join(
+        f"{name}={count}" for name, count in sorted(outcomes.items())
+        if count
+    )
     print(f"steps={agg['engine_steps']}  "
           f"generated={agg['total_generated_tokens']} tokens  "
           f"throughput={agg['tokens_per_s']:.1f} tok/s  "
           f"ttft p95={agg['ttft_steps_p95']}  "
           f"latency p95={agg['latency_steps_p95']}  "
-          f"preemptions={agg['preemptions']}")
+          f"preemptions={agg['preemptions']}  "
+          f"retries={agg['retries']}")
+    print(f"outcomes: {outcome_line}")
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             json.dump(metrics, fh, indent=2)
@@ -906,9 +952,15 @@ def _cmd_serve(args) -> int:
         print(f"wrote {args.metrics_out}")
     failures = [f"metrics schema: {v}" for v in validate_serve_metrics(metrics)]
     if args.smoke:
-        # Differential gate: every engine stream must equal its
-        # single-request full-recompute oracle, token for token.
+        # Differential gate: every *completed* engine stream must equal
+        # its single-request full-recompute oracle, token for token.
+        # Typed degradation outcomes (timeout/rejected/cancelled/failed)
+        # have no full stream to compare.
+        completed = {r.request_id for r in report.requests
+                     if r.outcome == "completed"}
         for req in trace:
+            if req.request_id not in completed:
+                continue
             oracle = generate(
                 model, np.array(req.prompt), req.max_new_tokens,
                 temperature=req.temperature, top_k=req.top_k,
@@ -920,8 +972,8 @@ def _cmd_serve(args) -> int:
                 failures.append(
                     f"{req.request_id}: engine stream != generate oracle"
                 )
-        print(f"smoke: {len(trace)} streams checked against the oracle, "
-              f"{len(failures)} violations")
+        print(f"smoke: {len(completed)} completed streams checked "
+              f"against the oracle, {len(failures)} violations")
     for failure in failures:
         print(f"error: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -1143,7 +1195,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument(
         "--only", default=None,
         choices=["schedules", "sanitizer", "conformance", "backend",
-                 "conservation", "chaos", "serve"],
+                 "conservation", "chaos", "serve", "serve-chaos"],
         help="run a single verification section",
     )
     p_ver.add_argument(
@@ -1304,10 +1356,43 @@ def build_parser() -> argparse.ArgumentParser:
              "iteration events into it",
     )
     p_serve.add_argument(
+        "--deadline", type=int, default=None, metavar="STEPS",
+        help="per-request deadline in engine steps past arrival; "
+             "overdue requests finish with outcome=timeout",
+    )
+    p_serve.add_argument(
+        "--ttl", type=int, default=None, metavar="STEPS",
+        help="queue TTL: requests never admitted within STEPS of "
+             "arrival time out in the queue",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="bound the never-admitted waiting queue at N; overflow is "
+             "shed per --shed with outcome=rejected",
+    )
+    p_serve.add_argument(
+        "--shed", default="reject-newest",
+        choices=["reject-newest", "edf"],
+        help="shedding policy for a full queue: drop the newcomer, or "
+             "the entry with the latest deadline (earliest-deadline-"
+             "first keeps the tightest SLOs)",
+    )
+    p_serve.add_argument(
+        "--chaos", action="store_true",
+        help="inject the default fault storm (decode crash + KV-block "
+             "corruption + allocator-exhaustion storm) with supervised "
+             "recovery; enables per-block cache checksums",
+    )
+    p_serve.add_argument(
+        "--chaos-plan", default=None, metavar="PATH",
+        help="inject a ServeChaosPlan JSON (crashes/corruptions/"
+             "exhaustions) instead of the default storm",
+    )
+    p_serve.add_argument(
         "--smoke", action="store_true",
         help="CI gate: validate the SLO-metrics schema and check every "
-             "engine stream against the generate oracle; exit non-zero "
-             "on any violation",
+             "completed engine stream against the generate oracle; exit "
+             "non-zero on any violation",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -28,9 +28,12 @@ from .monitor import (
     HeartbeatGapDetector,
     LossSpikeDetector,
     Monitor,
+    PreemptionStormDetector,
+    QueueGrowthDetector,
     Scoreboard,
     StragglerDetector,
     ThroughputCollapseDetector,
+    TtftSloDetector,
     default_detectors,
     render_dashboard,
     run_monitor,
@@ -144,6 +147,9 @@ __all__ = [
     "StragglerDetector",
     "HeartbeatGapDetector",
     "CheckpointHealthDetector",
+    "QueueGrowthDetector",
+    "TtftSloDetector",
+    "PreemptionStormDetector",
     "default_detectors",
     "Monitor",
     "run_monitor",

@@ -641,6 +641,65 @@ def _bench_serve_engine():
     return run
 
 
+@register("serve.engine.guarded", kind="macro",
+          derive=_serve_engine_derive)
+def _bench_serve_engine_guarded():
+    """The fault-free robustness path: deadlines + TTLs + bounded queue
+    + checksummed cache, no chaos.  Tracks the bookkeeping overhead the
+    ISSUE 10 <5% budget guards."""
+    from repro.config import tiny_test_model
+    from repro.nn.transformer import GPTModel
+    from repro.serve import PagedKVCache, ServeEngine, poisson_trace
+
+    config = tiny_test_model()
+    model = GPTModel(config, seed=0)
+    trace = poisson_trace(8, 0.7, vocab_size=config.vocab_size, seed=2,
+                          temperature=1.0, top_k=5,
+                          deadline_steps=256, queue_ttl=128)
+
+    def run():
+        cache = PagedKVCache.for_model(model, num_blocks=4, block_size=3,
+                                       checksums=True)
+        ServeEngine(model, cache, max_queue=32).run(trace)
+        cache.assert_empty()
+
+    return run
+
+
+@register("serve.engine.chaos", kind="macro",
+          derive=_serve_engine_derive)
+def _bench_serve_engine_chaos():
+    """Throughput under fire: decode crash + KV corruption + an
+    exhaustion storm, all recovered within the run."""
+    from repro.config import tiny_test_model
+    from repro.nn.transformer import GPTModel
+    from repro.resilience.serve_chaos import (
+        AllocExhaustion,
+        DecodeCrash,
+        KVCorruption,
+        ServeChaosPlan,
+    )
+    from repro.serve import PagedKVCache, ServeEngine, poisson_trace
+
+    config = tiny_test_model()
+    model = GPTModel(config, seed=0)
+    trace = poisson_trace(8, 0.7, vocab_size=config.vocab_size, seed=2,
+                          temperature=1.0, top_k=5)
+    plan = ServeChaosPlan(
+        crashes=(DecodeCrash(at_step=1),),
+        corruptions=(KVCorruption(at_step=4),),
+        exhaustions=(AllocExhaustion(at_step=7, steps=3),),
+    )
+
+    def run():
+        cache = PagedKVCache.for_model(model, num_blocks=4, block_size=3,
+                                       checksums=True)
+        ServeEngine(model, cache, chaos=plan).run(trace)
+        cache.assert_empty()
+
+    return run
+
+
 # ---------------------------------------------------------------------------
 # suite discovery
 # ---------------------------------------------------------------------------

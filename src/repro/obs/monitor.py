@@ -20,6 +20,21 @@ diagnostic MegaScale (arXiv 2402.15627) runs in production:
 - :class:`CheckpointHealthDetector` — save retries (flaky filesystem)
   and corrupted-snapshot skips during restore.
 
+Serve-side detectors watch the same stream when it comes from the
+continuous-batching engine (``request`` lifecycle events plus
+``iteration`` records carrying ``waiting``/``tokens`` counts); they
+no-op on training streams:
+
+- :class:`QueueGrowthDetector` — the waiting queue deep *and*
+  non-decreasing for several consecutive ticks (admission starvation,
+  e.g. an allocator-exhaustion storm);
+- :class:`TtftSloDetector` — a request's time-to-first-token past its
+  SLO, or timed out without ever producing a token (decode crashes
+  push the victim's TTFT through backoff);
+- :class:`PreemptionStormDetector` — preempt/retry events clustered
+  inside a sliding step window (cache thrash or repeated fault
+  recovery).
+
 :class:`Monitor` drives a detector set over a stream (live, as a
 :class:`~repro.obs.runlog.RunLogger` observer, or offline over a log
 file) and keeps the state the ``python -m repro monitor`` dashboard
@@ -51,6 +66,10 @@ EXPECTED_DETECTOR = {
     "rank-stall": "straggler",
     "save-failure": "checkpoint",
     "corrupt-checkpoint": "checkpoint",
+    # serve-side chaos (repro.resilience.serve_chaos)
+    "alloc-exhaustion": "queue-growth",
+    "decode-crash": "ttft-slo",
+    "kv-corruption": "preemption-storm",
 }
 
 
@@ -373,14 +392,175 @@ class CheckpointHealthDetector(Detector):
         )]
 
 
+class QueueGrowthDetector(Detector):
+    """Admission starvation: the waiting queue both deep and
+    non-decreasing for ``min_consecutive`` consecutive serve iteration
+    records.
+
+    Depth alone is not a signal under bursty arrivals (a burst drains);
+    a deep queue that *keeps not draining* is -- the symptom of an
+    allocator-exhaustion storm or a stuck scheduler.  Alerts once per
+    episode; the episode ends when the queue dips below ``min_depth``.
+    """
+
+    name = "queue-growth"
+
+    def __init__(self, min_depth: int = 6, min_consecutive: int = 3):
+        if min_depth < 1:
+            raise ValueError(f"min_depth must be >= 1, got {min_depth}")
+        if min_consecutive < 1:
+            raise ValueError(
+                f"min_consecutive must be >= 1, got {min_consecutive}"
+            )
+        self.min_depth = min_depth
+        self.min_consecutive = min_consecutive
+        self._last: int | None = None
+        self._rounds = 0
+        self._declared = False
+
+    def observe(self, event: dict) -> list[Alert]:
+        if event["type"] != "iteration" or event.get("waiting") is None:
+            return []
+        waiting = int(event["waiting"])
+        alerts: list[Alert] = []
+        grown = self._last is not None and waiting >= self._last
+        if waiting >= self.min_depth and grown:
+            self._rounds += 1
+            if self._rounds >= self.min_consecutive and not self._declared:
+                self._declared = True
+                alerts.append(Alert(
+                    detector=self.name, severity="critical",
+                    iteration=int(event["iteration"]),
+                    seq=int(event["seq"]),
+                    message=(f"waiting queue at {waiting} and "
+                             f"non-decreasing for {self._rounds} "
+                             f"consecutive ticks"),
+                    evidence={"waiting": waiting,
+                              "consecutive": self._rounds},
+                ))
+        else:
+            self._rounds = 0
+            if waiting < self.min_depth:
+                self._declared = False
+        self._last = waiting
+        return alerts
+
+
+class TtftSloDetector(Detector):
+    """Time-to-first-token past the SLO, on the engine's virtual clock.
+
+    Fires on the late ``first-token`` itself, or on a ``timeout`` of a
+    request that never produced one (a crash-looped or starved request
+    breaches the SLO without ever reaching ``first-token``).  At most
+    one alert per request.
+    """
+
+    name = "ttft-slo"
+
+    def __init__(self, slo_steps: int = 32):
+        if slo_steps < 1:
+            raise ValueError(f"slo_steps must be >= 1, got {slo_steps}")
+        self.slo_steps = slo_steps
+        self._arrived: dict[str, int] = {}
+        self._alerted: set[str] = set()
+
+    def observe(self, event: dict) -> list[Alert]:
+        if event["type"] != "request":
+            return []
+        phase, rid = event.get("phase"), event.get("request_id")
+        step = int(event.get("step", 0))
+        if phase == "arrive":
+            self._arrived[rid] = step
+            return []
+        if rid not in self._arrived or rid in self._alerted:
+            return []
+        if phase == "first-token":
+            ttft = step - self._arrived[rid]
+        elif phase == "timeout":
+            ttft = step - self._arrived[rid]  # never served at all
+        else:
+            return []
+        if ttft <= self.slo_steps:
+            return []
+        self._alerted.add(rid)
+        starved = phase == "timeout"
+        return [Alert(
+            detector=self.name, severity="critical",
+            iteration=step, seq=int(event["seq"]),
+            message=(f"request {rid} "
+                     + ("timed out with no first token after"
+                        if starved else "first token after")
+                     + f" {ttft} steps (SLO {self.slo_steps})"),
+            evidence={"request_id": rid, "ttft_steps": ttft,
+                      "slo_steps": self.slo_steps, "starved": starved},
+        )]
+
+
+class PreemptionStormDetector(Detector):
+    """Preempt/retry churn clustered in a sliding virtual-clock window.
+
+    Healthy continuous batching preempts occasionally; ``threshold``
+    such events inside ``window_steps`` is thrash -- repeated fault
+    recovery (KV corruption retries) or a pool far too small.  Alerts
+    once per episode; the episode ends when the window empties.
+    """
+
+    name = "preemption-storm"
+
+    def __init__(self, window_steps: int = 8, threshold: int = 4):
+        if window_steps < 1:
+            raise ValueError(
+                f"window_steps must be >= 1, got {window_steps}"
+            )
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.window_steps = window_steps
+        self.threshold = threshold
+        self._events: deque[int] = deque()
+        self._declared = False
+
+    def observe(self, event: dict) -> list[Alert]:
+        if event["type"] != "request":
+            return []
+        phase = event.get("phase")
+        if phase not in ("preempt", "retry"):
+            return []
+        step = int(event.get("step", 0))
+        self._events.append(step)
+        while self._events and self._events[0] < step - self.window_steps:
+            self._events.popleft()
+        count = len(self._events)
+        if count < self.threshold:
+            self._declared = False  # the storm abated; episode over
+            return []
+        if self._declared:
+            return []
+        self._declared = True
+        return [Alert(
+            detector=self.name, severity="warning",
+            iteration=step, seq=int(event["seq"]),
+            message=(f"{count} preempt/retry events within "
+                     f"{self.window_steps} steps"),
+            evidence={"count": count, "window_steps": self.window_steps},
+        )]
+
+
 def default_detectors() -> list[Detector]:
-    """The default-threshold detector set the acceptance grid scores."""
+    """The default-threshold detector set the acceptance grid scores.
+
+    Includes the serve-side detectors: they key on fields only the
+    serve engine emits (``waiting`` iteration counts, ``request``
+    events), so they are inert on training streams.
+    """
     return [
         LossSpikeDetector(),
         ThroughputCollapseDetector(),
         StragglerDetector(),
         HeartbeatGapDetector(),
         CheckpointHealthDetector(),
+        QueueGrowthDetector(),
+        TtftSloDetector(),
+        PreemptionStormDetector(),
     ]
 
 

@@ -208,8 +208,12 @@ class RunLogger:
                 **detail) -> dict:
         """One serving-request lifecycle transition (written by
         :class:`repro.serve.engine.ServeEngine`): ``phase`` is one of
-        arrive/admit/first-token/preempt/resume/finish/reject, ``step``
-        the engine's (virtual) clock at the transition."""
+        arrive/admit/first-token/preempt/resume/finish (the healthy
+        path) or reject/cancel/timeout/fault/retry (typed degradation:
+        admission-control shedding, client cancellation, deadline or
+        queue-TTL expiry, an injected decode fault, and its backoff
+        retry), ``step`` the engine's (virtual) clock at the
+        transition."""
         return self.emit(
             "request", phase=phase, request_id=request_id,
             step=float(step), **detail,

@@ -26,7 +26,12 @@ checkpoint / goodput the defining concern beyond raw PTD-P throughput.
 - :mod:`repro.resilience.harness` — supervised
   :class:`~repro.resilience.harness.ChaosHarness` that trains through a
   chaos plan with durable checkpoints, retries, fallback, and optional
-  resharding, behind ``python -m repro chaos``.
+  resharding, behind ``python -m repro chaos``;
+- :mod:`repro.resilience.serve_chaos` — the *serving* twin:
+  :class:`~repro.resilience.serve_chaos.ServeChaosPlan` injects decode
+  crashes, KV-block corruption, and allocator-exhaustion storms into
+  the continuous-batching engine (``repro serve --chaos``), recovered
+  by capped-exponential-backoff recompute retries.
 """
 
 from .chaos import (
@@ -79,6 +84,14 @@ from .recovery import (
     cluster_mtbf,
     young_daly_interval,
 )
+from .serve_chaos import (
+    AllocExhaustion,
+    DecodeCrash,
+    DecodeCrashError,
+    KVCorruption,
+    ServeChaosInjector,
+    ServeChaosPlan,
+)
 
 __all__ = [
     "ChaosPlan",
@@ -121,4 +134,10 @@ __all__ = [
     "sweep_checkpoint_interval",
     "log_spaced_intervals",
     "goodput_scenarios",
+    "ServeChaosPlan",
+    "ServeChaosInjector",
+    "DecodeCrash",
+    "DecodeCrashError",
+    "KVCorruption",
+    "AllocExhaustion",
 ]

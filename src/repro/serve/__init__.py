@@ -12,12 +12,26 @@ engine, and every fast path is pinned to the slow-but-trusted
 - :mod:`repro.serve.traffic`  -- seeded Poisson traces, JSON replay
 - :mod:`repro.serve.metrics`  -- TTFT/latency/throughput SLO reports
 - :mod:`repro.serve.tp`       -- tensor-parallel decode over ``repro.comm``
+
+Robustness (ISSUE 10): per-request deadlines and queue TTLs, bounded
+admission with pluggable shedding, client cancellation, per-block cache
+checksums, and chaos-injected fault recovery -- see
+:mod:`repro.resilience.serve_chaos` and ``repro verify --only
+serve-chaos``.
 """
 
 from .decode import DecodeSession, cached_generate
-from .engine import ServeEngine
-from .kv_cache import BlockAllocator, CacheFull, KVHandle, PagedKVCache
+from .engine import SHED_POLICIES, ServeEngine
+from .kv_cache import (
+    BlockAllocator,
+    CacheFull,
+    KVCorruptionError,
+    KVHandle,
+    PagedKVCache,
+)
 from .metrics import (
+    FINISH_REASONS,
+    OUTCOMES,
     SERVE_METRICS_SCHEMA_VERSION,
     RequestMetrics,
     ServeReport,
@@ -37,10 +51,14 @@ __all__ = [
     "BlockAllocator",
     "CacheFull",
     "DecodeSession",
+    "FINISH_REASONS",
+    "KVCorruptionError",
     "KVHandle",
+    "OUTCOMES",
     "PagedKVCache",
     "RequestMetrics",
     "SERVE_METRICS_SCHEMA_VERSION",
+    "SHED_POLICIES",
     "ServeEngine",
     "ServeReport",
     "TensorParallelDecoder",

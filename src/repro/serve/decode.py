@@ -137,6 +137,16 @@ class DecodeSession:
         self._drop_cache()
         self.preemptions += 1
 
+    def recover(self) -> None:
+        """Recompute-restart after an injected fault (decode crash or
+        KV corruption): drop every cached block so the next step
+        re-prefills from scratch.  Unlike :meth:`preempt` this does not
+        count as a scheduler preemption -- the engine tracks it as a
+        retry.  A fault always fires *before* the sampling rng is
+        consumed for the failed step, so the retried stream still
+        equals the per-request oracle."""
+        self._drop_cache()
+
     def release(self) -> None:
         """Return all blocks to the pool (request finished)."""
         self._drop_cache()

@@ -28,6 +28,7 @@ Two layers:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +36,23 @@ import numpy as np
 
 class CacheFull(RuntimeError):
     """The block pool has no free block for a requested allocation."""
+
+
+class KVCorruptionError(RuntimeError):
+    """A block's stored K/V no longer matches its recorded checksum.
+
+    Raised by :meth:`PagedKVCache.gather` (checksummed caches only)
+    before the corrupted values can feed a forward pass -- the engine
+    treats it like a decode-step crash and recompute-restarts the
+    request.
+    """
+
+    def __init__(self, block: int):
+        super().__init__(
+            f"KV cache block {block} failed its checksum "
+            f"(stored data was corrupted in place)"
+        )
+        self.block = block
 
 
 class BlockAllocator:
@@ -125,6 +143,7 @@ class PagedKVCache:
         *,
         num_blocks: int,
         block_size: int,
+        checksums: bool = False,
     ):
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
@@ -132,13 +151,25 @@ class PagedKVCache:
         self.num_heads = num_heads
         self.head_dim = head_dim
         self.block_size = block_size
+        self.checksums = checksums
         self.allocator = BlockAllocator(num_blocks)
-        shape = (num_layers, num_blocks, block_size, num_heads, head_dim)
-        self.k_pool = np.zeros(shape)
-        self.v_pool = np.zeros(shape)
+        # Block-major layout with K and V fused on one axis:
+        # kv_pool[block] is one contiguous buffer holding the block's
+        # entire K then V state, so the per-block CRC is a single
+        # zero-copy crc32 call (layer-major or split pools would cost a
+        # copy or a second call per hash -- measurable at decode rates,
+        # since gather verifies every block of a handle each step).
+        shape = (num_blocks, 2, num_layers, block_size, num_heads, head_dim)
+        self.kv_pool = np.zeros(shape)
+        self.k_pool = self.kv_pool[:, 0]
+        self.v_pool = self.kv_pool[:, 1]
+        # block -> CRC32 over the block's K+V bytes; entries exist only
+        # for live blocks of checksummed caches.
+        self._crcs: dict[int, int] = {}
 
     @classmethod
-    def for_model(cls, model, *, num_blocks: int, block_size: int):
+    def for_model(cls, model, *, num_blocks: int, block_size: int,
+                  checksums: bool = False):
         """Pool sized for a :class:`repro.nn.transformer.GPTModel`."""
         config = model.config
         return cls(
@@ -147,7 +178,11 @@ class PagedKVCache:
             config.hidden_size // config.num_attention_heads,
             num_blocks=num_blocks,
             block_size=block_size,
+            checksums=checksums,
         )
+
+    def _block_crc(self, block: int) -> int:
+        return zlib.crc32(self.kv_pool[block])  # contiguous: zero-copy
 
     # -- capacity -----------------------------------------------------------
     @property
@@ -202,29 +237,55 @@ class PagedKVCache:
         offs = pos % self.block_size
         for layer, (k, v) in enumerate(new_kvs):
             # (1, a, s_new, dk) -> (s_new, a, dk) slots.
-            self.k_pool[layer, blocks, offs] = k[0].transpose(1, 0, 2)
-            self.v_pool[layer, blocks, offs] = v[0].transpose(1, 0, 2)
+            self.k_pool[blocks, layer, offs] = k[0].transpose(1, 0, 2)
+            self.v_pool[blocks, layer, offs] = v[0].transpose(1, 0, 2)
         handle.length = total
+        if self.checksums:
+            for block in dict.fromkeys(int(b) for b in blocks):
+                self._crcs[block] = self._block_crc(block)
 
     def gather(self, handle: KVHandle):
         """Reassemble ``past_kvs`` (per-layer ``(k, v)``, each
-        ``(1, a, length, dk)``) for :meth:`GPTModel.forward_step`."""
+        ``(1, a, length, dk)``) for :meth:`GPTModel.forward_step`.
+
+        Checksummed caches verify every block of the handle first and
+        raise :class:`KVCorruptionError` on a mismatch, so corrupted
+        state can never silently feed a forward pass.
+        """
         self._check(handle)
+        if self.checksums:
+            # Hot path (every block, every decode step): locals bound
+            # outside the loop, one crc32 per block.
+            crcs, pool, crc32 = self._crcs, self.kv_pool, zlib.crc32
+            for block in handle.block_table:
+                if crcs.get(block) != crc32(pool[block]):
+                    raise KVCorruptionError(block)
         pos = np.arange(handle.length)
         table = np.asarray(handle.block_table)
         blocks = table[pos // self.block_size]
         offs = pos % self.block_size
         out = []
         for layer in range(self.num_layers):
-            k = self.k_pool[layer, blocks, offs].transpose(1, 0, 2)[None]
-            v = self.v_pool[layer, blocks, offs].transpose(1, 0, 2)[None]
+            k = self.k_pool[blocks, layer, offs].transpose(1, 0, 2)[None]
+            v = self.v_pool[blocks, layer, offs].transpose(1, 0, 2)[None]
             out.append((k, v))
         return out
+
+    def corrupt_block(self, block: int) -> None:
+        """Perturb one stored value *without* refreshing its checksum.
+
+        Chaos/test hook modelling in-place memory corruption: the next
+        checksummed :meth:`gather` touching ``block`` raises
+        :class:`KVCorruptionError`.  ``x + 1.0`` differs from ``x`` for
+        every finite cached magnitude, so the flip never no-ops.
+        """
+        self.k_pool[block, 0, 0, 0, 0] += 1.0
 
     def free(self, handle: KVHandle) -> None:
         self._check(handle)
         for block in handle.block_table:
             self.allocator.free(block)
+            self._crcs.pop(block, None)
         handle.block_table = []
         handle.length = 0
         handle.freed = True

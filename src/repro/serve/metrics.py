@@ -6,6 +6,13 @@ wall-clock seconds are kept alongside for real throughput (tokens/s).
 :func:`validate_serve_metrics` is the schema gate ``repro serve
 --smoke`` exits non-zero on -- the serving analogue of the run-log
 schema version check.
+
+Schema v2 (ISSUE 10) types every request's *terminal state*: requests
+no longer merely finish, they ``complete``, ``timeout``, get
+``rejected`` by admission control, get ``cancelled`` by the client, or
+``fail`` after exhausting chaos-recovery retries.  Token conservation
+spans **all** outcomes: a timed-out request's partial tokens still
+count, a rejected one contributes zero.
 """
 
 from __future__ import annotations
@@ -14,24 +21,36 @@ from dataclasses import dataclass
 
 import numpy as np
 
-SERVE_METRICS_SCHEMA_VERSION = 1
+SERVE_METRICS_SCHEMA_VERSION = 2
 
 FINISH_REASONS = ("length", "stop")
+
+#: Typed terminal states.  ``completed`` is the only outcome with a
+#: ``finish_reason`` and the only one whose stream is surfaced in
+#: ``ServeEngine.outputs`` (and hence oracle-checked).
+OUTCOMES = ("completed", "timeout", "rejected", "cancelled", "failed")
 
 
 @dataclass
 class RequestMetrics:
-    """One finished request's lifecycle, in virtual-clock steps."""
+    """One terminal request's lifecycle, in virtual-clock steps.
+
+    ``admit_step`` is ``None`` for requests shed or timed out before
+    ever being admitted; ``finish_reason`` is ``None`` unless
+    ``outcome == "completed"``.
+    """
 
     request_id: str
     prompt_tokens: int
     generated_tokens: int
     arrival_step: int
-    admit_step: int
+    admit_step: int | None
     first_token_step: int | None
     finish_step: int
     preemptions: int
-    finish_reason: str
+    finish_reason: str | None
+    outcome: str = "completed"
+    retries: int = 0
 
     @property
     def ttft_steps(self) -> int | None:
@@ -55,6 +74,8 @@ class RequestMetrics:
             "finish_step": self.finish_step,
             "preemptions": self.preemptions,
             "finish_reason": self.finish_reason,
+            "outcome": self.outcome,
+            "retries": self.retries,
             "ttft_steps": self.ttft_steps,
             "latency_steps": self.latency_steps,
         }
@@ -62,7 +83,7 @@ class RequestMetrics:
 
 @dataclass
 class ServeReport:
-    """All finished requests of one engine run + wall-clock totals."""
+    """All terminal requests of one engine run + wall-clock totals."""
 
     requests: list[RequestMetrics]
     steps: int
@@ -78,10 +99,17 @@ class ServeReport:
             return 0.0
         return self.total_generated / self.wall_seconds
 
+    @property
+    def completed(self) -> list[RequestMetrics]:
+        return [r for r in self.requests if r.outcome == "completed"]
+
     def to_dict(self) -> dict:
+        # SLO percentiles describe *served* traffic: TTFT over requests
+        # that produced a first token, latency over completed requests
+        # (a rejected request's 0-step "latency" is not a service time).
         ttfts = [r.ttft_steps for r in self.requests
                  if r.ttft_steps is not None]
-        lats = [r.latency_steps for r in self.requests]
+        lats = [r.latency_steps for r in self.completed]
         return {
             "schema_version": SERVE_METRICS_SCHEMA_VERSION,
             "aggregate": {
@@ -95,6 +123,11 @@ class ServeReport:
                 "latency_steps_mean": _mean(lats),
                 "latency_steps_p95": _p95(lats),
                 "preemptions": sum(r.preemptions for r in self.requests),
+                "retries": sum(r.retries for r in self.requests),
+                "outcomes": {
+                    o: sum(1 for r in self.requests if r.outcome == o)
+                    for o in OUTCOMES
+                },
             },
             "requests": [r.to_dict() for r in self.requests],
         }
@@ -113,12 +146,13 @@ def _p95(xs) -> float | None:
 _AGGREGATE_KEYS = (
     "num_requests", "total_generated_tokens", "engine_steps",
     "wall_seconds", "tokens_per_s", "ttft_steps_mean", "ttft_steps_p95",
-    "latency_steps_mean", "latency_steps_p95", "preemptions",
+    "latency_steps_mean", "latency_steps_p95", "preemptions", "retries",
+    "outcomes",
 )
 _REQUEST_KEYS = (
     "request_id", "prompt_tokens", "generated_tokens", "arrival_step",
     "admit_step", "first_token_step", "finish_step", "preemptions",
-    "finish_reason", "ttft_steps", "latency_steps",
+    "finish_reason", "outcome", "retries", "ttft_steps", "latency_steps",
 )
 
 
@@ -155,6 +189,7 @@ def validate_serve_metrics(obj) -> list[str]:
             f"{len(requests)} request records"
         )
     total = 0
+    outcome_counts = dict.fromkeys(OUTCOMES, 0)
     for i, req in enumerate(requests):
         where = f"requests[{i}]"
         if not isinstance(req, dict):
@@ -166,16 +201,38 @@ def validate_serve_metrics(obj) -> list[str]:
         rid = req.get("request_id")
         if not isinstance(rid, str) or not rid:
             violations.append(f"{where}: request_id must be a non-empty string")
-        if req.get("finish_reason") not in FINISH_REASONS:
+        outcome = req.get("outcome")
+        if outcome not in OUTCOMES:
             violations.append(
-                f"{where}: finish_reason {req.get('finish_reason')!r} not in "
-                f"{FINISH_REASONS}"
+                f"{where}: outcome {outcome!r} not in {OUTCOMES}"
             )
+        else:
+            outcome_counts[outcome] += 1
+        if outcome == "completed":
+            if req.get("finish_reason") not in FINISH_REASONS:
+                violations.append(
+                    f"{where}: finish_reason {req.get('finish_reason')!r} "
+                    f"not in {FINISH_REASONS}"
+                )
+            if req.get("admit_step") is None:
+                violations.append(f"{where}: completed without admit_step")
+        elif req.get("finish_reason") is not None:
+            violations.append(
+                f"{where}: non-completed request carries finish_reason "
+                f"{req.get('finish_reason')!r}"
+            )
+        retries = req.get("retries")
+        if isinstance(retries, int) and retries < 0:
+            violations.append(f"{where}: retries < 0")
         gen = req.get("generated_tokens")
         if isinstance(gen, int):
             total += gen
             if gen < 0:
                 violations.append(f"{where}: generated_tokens < 0")
+            if outcome == "rejected" and gen != 0:
+                violations.append(
+                    f"{where}: rejected request generated {gen} tokens"
+                )
         arrival, admit = req.get("arrival_step"), req.get("admit_step")
         first, finish = req.get("first_token_step"), req.get("finish_step")
         if (isinstance(arrival, int) and isinstance(admit, int)
@@ -197,5 +254,12 @@ def validate_serve_metrics(obj) -> list[str]:
             "aggregate.total_generated_tokens "
             f"{agg['total_generated_tokens']} != sum of per-request "
             f"generated_tokens {total} (token conservation)"
+        )
+    if isinstance(agg.get("outcomes"), dict) and (
+        agg["outcomes"] != outcome_counts
+    ):
+        violations.append(
+            f"aggregate.outcomes {agg['outcomes']} != per-request tally "
+            f"{outcome_counts}"
         )
     return violations

@@ -33,6 +33,23 @@ class TraceRequest:
     top_k: int | None = None
     seed: int = 0
     stop_ids: tuple[int, ...] = ()
+    # SLO knobs (both in virtual engine steps, relative to arrival_step;
+    # None = unbounded).  ``deadline_steps`` bounds total sojourn time --
+    # the request must *finish* by ``arrival_step + deadline_steps`` or it
+    # is timed out wherever it is (queued, backing off, or decoding).
+    # ``queue_ttl`` bounds time-to-first-admission only.
+    deadline_steps: int | None = None
+    queue_ttl: int | None = None
+
+    def __post_init__(self):
+        if self.deadline_steps is not None and self.deadline_steps < 0:
+            raise ValueError(
+                f"deadline_steps must be >= 0, got {self.deadline_steps}"
+            )
+        if self.queue_ttl is not None and self.queue_ttl < 0:
+            raise ValueError(
+                f"queue_ttl must be >= 0, got {self.queue_ttl}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -44,6 +61,8 @@ class TraceRequest:
             "top_k": self.top_k,
             "seed": self.seed,
             "stop_ids": list(self.stop_ids),
+            "deadline_steps": self.deadline_steps,
+            "queue_ttl": self.queue_ttl,
         }
 
     @classmethod
@@ -59,6 +78,10 @@ class TraceRequest:
                        else int(obj["top_k"])),
                 seed=int(obj.get("seed", 0)),
                 stop_ids=tuple(int(t) for t in obj.get("stop_ids", ())),
+                deadline_steps=(None if obj.get("deadline_steps") is None
+                                else int(obj["deadline_steps"])),
+                queue_ttl=(None if obj.get("queue_ttl") is None
+                           else int(obj["queue_ttl"])),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"malformed trace request: {exc}") from exc
@@ -75,6 +98,8 @@ def poisson_trace(
     temperature: float = 0.0,
     top_k: int | None = None,
     stop_ids: tuple[int, ...] = (),
+    deadline_steps: int | None = None,
+    queue_ttl: int | None = None,
 ) -> list[TraceRequest]:
     """Seeded open-loop Poisson workload.
 
@@ -105,6 +130,8 @@ def poisson_trace(
             top_k=top_k,
             seed=int(rng.integers(0, 2**31)),
             stop_ids=stop_ids,
+            deadline_steps=deadline_steps,
+            queue_ttl=queue_ttl,
         ))
     return trace
 

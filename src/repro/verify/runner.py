@@ -256,6 +256,21 @@ def _run_serve(fast: bool, seed: int) -> SectionResult:
     return section
 
 
+def _run_serve_chaos(fast: bool, seed: int) -> SectionResult:
+    from .serve_chaos_check import run_serve_chaos_checks
+
+    section = SectionResult("serve-chaos")
+    results = run_serve_chaos_checks(fast=fast, seed=seed)
+    section.checks = len(results)
+    for name, failures in results:
+        for failure in failures:
+            section.failures.append(f"{name}: {failure}")
+    section.notes.append(
+        "serving under fire: " + ", ".join(name for name, _ in results)
+    )
+    return section
+
+
 def _run_injected_reorder(seed: int) -> SectionResult:
     """Mutate a known-good 1F1B schedule (a backward hoisted before its
     forward on rank 0) and demand the static validator flags it."""
@@ -315,7 +330,7 @@ def run_verification(
         )
     if only is not None and only not in (
         "schedules", "sanitizer", "conformance", "backend", "conservation",
-        "chaos", "serve",
+        "chaos", "serve", "serve-chaos",
     ):
         raise ValueError(f"unknown section {only!r}")
     if num_cases is None:
@@ -355,6 +370,8 @@ def run_verification(
             report.sections.append(_run_chaos(fast, seed))
         if only in (None, "serve"):
             report.sections.append(_run_serve(fast, seed))
+        if only in (None, "serve-chaos"):
+            report.sections.append(_run_serve_chaos(fast, seed))
 
     if inject is not None and report.ok:
         # The injected defect was NOT caught: the verifier itself is

@@ -245,7 +245,7 @@ class TestVerify:
         out = capsys.readouterr().out
         assert "verification PASSED" in out
         for section in ("schedules", "sanitizer", "conformance",
-                        "conservation", "chaos", "serve"):
+                        "conservation", "chaos", "serve", "serve-chaos"):
             assert section in out
 
     def test_only_serve_section(self, capsys):
@@ -253,6 +253,15 @@ class TestVerify:
         assert rc == 0
         out = capsys.readouterr().out
         assert "cached-decode-oracle-grid" in out
+        assert "[ok] conformance" not in out  # other sections skipped
+
+    def test_only_serve_chaos_section(self, capsys):
+        rc = main(["verify", "--fast", "--only", "serve-chaos"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crash-recovery-grid" in out
+        assert "exhaustion-overload" in out
+        assert "faulted-replay" in out
         assert "[ok] conformance" not in out  # other sections skipped
 
     def test_only_chaos_section(self, capsys):
@@ -796,6 +805,45 @@ class TestServeCLI:
         assert manifest_of(events)["source"] == "serve"
         phases = {e["phase"] for e in events if e["type"] == "request"}
         assert {"arrive", "admit", "first-token", "finish"} <= phases
+
+    def test_chaos_smoke_recovers_and_matches_oracle(self, capsys):
+        rc = main([*self.SERVE, "--smoke", "--chaos", "--blocks", "6",
+                   "--deadline", "64", "--ttl", "32", "--max-queue", "6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos: 1 crashes, 1 corruptions, 1 exhaustion storms" in out
+        assert "per-block checksums on" in out
+        assert "0 violations" in out
+        assert "outcomes: completed=5" in out
+
+    def test_chaos_plan_file_round_trips(self, tmp_path, capsys):
+        from repro.resilience import DecodeCrash, ServeChaosPlan
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            ServeChaosPlan(crashes=(DecodeCrash(at_step=1),)).to_json()
+        )
+        rc = main([*self.SERVE, "--smoke", "--chaos-plan", str(plan)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos: 1 crashes, 0 corruptions, 0 exhaustion storms" in out
+        assert "retries=1" in out
+
+    def test_unparseable_chaos_plan_exits_two(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{broken")
+        rc = main([*self.SERVE, "--chaos-plan", str(plan)])
+        assert rc == 2
+        assert "unparseable" in capsys.readouterr().err
+
+    def test_overload_degrades_with_typed_outcomes(self, capsys):
+        rc = main(["serve", "--requests", "12", "--rate", "3.0",
+                   "--seed", "3", "--max-queue", "2", "--deadline", "8",
+                   "--ttl", "3", "--shed", "edf", "--smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rejected=" in out or "timeout=" in out
+        assert "0 violations" in out
 
     def test_oversized_requests_report_error(self, capsys):
         rc = main([*self.SERVE, "--blocks", "1", "--block-size", "1"])

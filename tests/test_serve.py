@@ -396,6 +396,198 @@ class TestServeEngine:
 
 
 # ---------------------------------------------------------------------------
+# graceful degradation: deadlines, TTLs, admission control, cancellation
+# ---------------------------------------------------------------------------
+
+class TestServeDegradation:
+    def test_empty_trace_through_run(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=4, block_size=3)
+        engine = ServeEngine(m, cache)
+        report = engine.run([])
+        assert report.requests == []
+        assert report.steps == 0
+        assert validate_serve_metrics(report.to_dict()) == []
+        cache.assert_empty()
+
+    def test_cancel_never_admitted_request(self):
+        """Cancelling a queued request frees nothing (it holds nothing)
+        and records a typed ``cancelled`` outcome with zero tokens."""
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=2, block_size=4)
+        engine = ServeEngine(m, cache)
+        engine.submit(TraceRequest("hog", 0, (1, 2, 3, 4, 5), 3,
+                                   temperature=0.0))
+        engine.tick()  # "hog" admitted and holding the whole pool...
+        engine.submit(TraceRequest("late", 1, (4, 5, 6, 7, 8), 3,
+                                   temperature=0.0))
+        engine.tick()  # ..."late" cannot fit
+        assert [e.trace.request_id for e in engine.waiting] == ["late"]
+        assert engine.cancel("late") is True
+        while engine.running or engine.waiting:
+            engine.tick()
+        by_id = {r.request_id: r for r in engine.finished}
+        assert by_id["late"].outcome == "cancelled"
+        assert by_id["late"].generated_tokens == 0
+        assert by_id["late"].admit_step is None
+        assert by_id["hog"].outcome == "completed"
+        cache.assert_empty()
+
+    def test_cancel_running_request_releases_blocks(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=4, block_size=3)
+        engine = ServeEngine(m, cache)
+        engine.submit(TraceRequest("live", 0, (1, 2), 5, temperature=0.0))
+        engine.tick()
+        engine.tick()
+        assert cache.live_blocks > 0
+        assert engine.cancel("live") is True
+        assert cache.live_blocks == 0
+        (metrics,) = engine.finished
+        assert metrics.outcome == "cancelled"
+        assert metrics.generated_tokens > 0  # partial stream counted
+        assert "live" not in engine.outputs
+
+    def test_cancel_unknown_request_returns_false(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=4, block_size=3)
+        engine = ServeEngine(m, cache)
+        assert engine.cancel("ghost") is False
+        req = TraceRequest("done", 0, (1, 2), 1, temperature=0.0)
+        engine.run([req])
+        assert engine.cancel("done") is False  # already terminal
+
+    def test_deadline_equal_to_arrival_step(self):
+        """deadline_steps=0 still grants the arrival tick: a one-token
+        request completes; a longer one times out with its partial."""
+        trace = [
+            TraceRequest("one", 0, (1, 2), 1, temperature=0.0,
+                         deadline_steps=0),
+            TraceRequest("many", 0, (3, 4), 5, temperature=0.0,
+                         deadline_steps=0),
+        ]
+        _, report, events = run_trace(trace, num_blocks=8)
+        by_id = {r.request_id: r for r in report.requests}
+        assert by_id["one"].outcome == "completed"
+        assert by_id["many"].outcome == "timeout"
+        assert 1 <= by_id["many"].generated_tokens < 5
+        why = {e["request_id"]: e["why"] for e in events
+               if e["type"] == "request" and e["phase"] == "timeout"}
+        assert why == {"many": "deadline"}
+
+    def test_queue_ttl_bounds_admission_not_service(self):
+        """TTL expires only never-admitted requests: a queue-blocked
+        request dies of TTL while the admitted one decodes past it."""
+        trace = [
+            TraceRequest("hog", 0, (1, 2, 3, 4, 5), 3, temperature=0.0),
+            TraceRequest("starved", 1, (4, 5, 6, 7, 8), 3, temperature=0.0,
+                         queue_ttl=1),
+        ]
+        _, report, events = run_trace(trace, num_blocks=2, block_size=4)
+        by_id = {r.request_id: r for r in report.requests}
+        assert by_id["hog"].outcome == "completed"
+        assert by_id["starved"].outcome == "timeout"
+        assert by_id["starved"].generated_tokens == 0
+        why = {e["request_id"]: e["why"] for e in events
+               if e["type"] == "request" and e["phase"] == "timeout"}
+        assert why == {"starved": "queue-ttl"}
+
+    def test_bounded_queue_reject_newest(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=2, block_size=3)
+        engine = ServeEngine(m, cache, max_queue=2)
+        for i in range(2):
+            assert engine.submit(
+                TraceRequest(f"q{i}", 0, (1, 2), 2, temperature=0.0)
+            ) is True
+        assert engine.submit(
+            TraceRequest("q2", 0, (1, 2), 2, temperature=0.0)
+        ) is False  # queue already holds 2 never-admitted entries
+        by_id = {r.request_id: r for r in engine.finished}
+        assert by_id["q2"].outcome == "rejected"
+        assert by_id["q2"].generated_tokens == 0
+
+    def test_edf_shedding_prefers_latest_deadline(self):
+        """EDF sheds the least-urgent queued request; a request with no
+        deadline counts as infinitely late and goes first."""
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=2, block_size=3)
+        engine = ServeEngine(m, cache, max_queue=2, shed_policy="edf")
+        engine.submit(TraceRequest("lax", 0, (1, 2), 2, temperature=0.0))
+        engine.submit(TraceRequest("tight", 0, (3, 4), 2, temperature=0.0,
+                                   deadline_steps=4))
+        assert engine.submit(
+            TraceRequest("mid", 0, (5, 6), 2, temperature=0.0,
+                         deadline_steps=20)
+        ) is True  # "lax" (no deadline) is shed instead
+        by_id = {r.request_id: r for r in engine.finished}
+        assert set(by_id) == {"lax"}
+        assert by_id["lax"].outcome == "rejected"
+        assert [e.trace.request_id for e in engine.waiting] == \
+            ["tight", "mid"]
+
+    def test_edf_tie_break_sheds_newest_arrival(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=2, block_size=3)
+        engine = ServeEngine(m, cache, max_queue=2, shed_policy="edf")
+        for name in ("first", "second"):
+            engine.submit(TraceRequest(name, 0, (1, 2), 2, temperature=0.0,
+                                       deadline_steps=10))
+        assert engine.submit(
+            TraceRequest("third", 0, (3, 4), 2, temperature=0.0,
+                         deadline_steps=10)
+        ) is False  # equal deadlines: FIFO order survives, newcomer goes
+        assert [e.trace.request_id for e in engine.waiting] == \
+            ["first", "second"]
+
+    def test_livelock_error_dumps_engine_state(self):
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=4, block_size=3)
+        engine = ServeEngine(m, cache)
+        trace = [
+            TraceRequest("stuck-a", 0, (1, 2), 6, temperature=0.0),
+            TraceRequest("stuck-b", 0, (3, 4), 6, temperature=0.0),
+        ]
+        with pytest.raises(RuntimeError) as exc:
+            engine.run(trace, max_steps=0)
+        message = str(exc.value)
+        assert "livelock" in message
+        assert "free_blocks=" in message
+        assert f"/{cache.capacity}" in message
+        assert "stuck-a" in message and "stuck-b" in message
+        assert "finished=0" in message
+
+    def test_degraded_metrics_pass_validation(self):
+        """Mixed outcomes (completed + timeout + rejected + cancelled)
+        still satisfy the schema and token conservation."""
+        m = model()
+        cache = PagedKVCache.for_model(m, num_blocks=2, block_size=3)
+        engine = ServeEngine(m, cache, max_queue=1)
+        engine.submit(TraceRequest("ok", 0, (1, 2), 2, temperature=0.0))
+        engine.tick()  # "ok" admitted, so the bounded queue is empty
+        engine.submit(TraceRequest("ttl", 0, (3, 4), 2, temperature=0.0,
+                                   queue_ttl=0))
+        engine.submit(TraceRequest("shed", 0, (5, 6), 2, temperature=0.0))
+        engine.tick()  # "ttl" expires in the queue before admission
+        engine.submit(TraceRequest("gone", 1, (7, 8), 2, temperature=0.0))
+        engine.cancel("gone")
+        while engine.running or engine.waiting:
+            engine.tick()
+        from repro.serve import ServeReport
+
+        report = ServeReport(requests=engine.finished,
+                             steps=engine.step_count, wall_seconds=0.0)
+        metrics = report.to_dict()
+        assert validate_serve_metrics(metrics) == []
+        outcomes = metrics["aggregate"]["outcomes"]
+        assert outcomes["completed"] >= 1
+        assert outcomes["timeout"] >= 1
+        assert outcomes["rejected"] >= 1
+        assert outcomes["cancelled"] == 1
+        cache.assert_empty()
+
+
+# ---------------------------------------------------------------------------
 # traffic traces
 # ---------------------------------------------------------------------------
 

@@ -273,7 +273,7 @@ class TestRunner:
         assert report.ok, report.describe()
         assert {s.name for s in report.sections} == {
             "schedules", "sanitizer", "conformance", "backend",
-            "conservation", "chaos", "serve",
+            "conservation", "chaos", "serve", "serve-chaos",
         }
         assert "verification PASSED" in report.describe()
 
